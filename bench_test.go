@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+)
+
+// The benchmark suite regenerates every table and figure of the paper, one
+// benchmark per artifact (DESIGN.md §4 maps each ID to the paper). Training
+// populations are cached across benchmarks inside the process, so artifacts
+// that share a workload (Figure 1, Figure 4, Table 2, ...) train it once;
+// the first benchmark touching a population pays its training cost.
+//
+// Run the full harness with:
+//
+//	go test -bench=. -benchmem
+//
+// Artifacts print via the nnrand CLI; benchmarks only regenerate them.
+
+// benchCfg is the benchmark-scale configuration: the smallest workloads
+// with 2 replicas per variant — enough to exercise every code path and
+// regenerate every artifact's rows in one CPU-core-hour class of budget.
+// Use the nnrand CLI (quick/full scale) for statistically stronger runs.
+var benchCfg = experiments.Config{Scale: data.ScaleTest, Replicas: 2, Seed: 20220622}
+
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := RunExperiment(id, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (accuracy ± stddev per hardware/task/variant).
+func BenchmarkTable2(b *testing.B) { benchArtifact(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3 (CelebA-like sub-group counts).
+func BenchmarkTable3(b *testing.B) { benchArtifact(b, "table3") }
+
+// BenchmarkTable4 regenerates Table 4 (dataset overview).
+func BenchmarkTable4(b *testing.B) { benchArtifact(b, "table4") }
+
+// BenchmarkTable5 regenerates Table 5 (sub-group stddev of acc/FPR/FNR).
+func BenchmarkTable5(b *testing.B) { benchArtifact(b, "table5") }
+
+// BenchmarkFig1 regenerates Figure 1 (noise-source comparison, V100).
+func BenchmarkFig1(b *testing.B) { benchArtifact(b, "fig1") }
+
+// BenchmarkFig2 regenerates Figure 2 (batch-norm noise damping).
+func BenchmarkFig2(b *testing.B) { benchArtifact(b, "fig2") }
+
+// BenchmarkFig3 regenerates Figure 3 (normalized sub-group stddev).
+func BenchmarkFig3(b *testing.B) { benchArtifact(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4 (per-class vs overall variance).
+func BenchmarkFig4(b *testing.B) { benchArtifact(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5 (stability across accelerators).
+func BenchmarkFig5(b *testing.B) { benchArtifact(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (data-order noise vs batch size, TPU).
+func BenchmarkFig6(b *testing.B) { benchArtifact(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (top-20 kernel times, det vs default).
+func BenchmarkFig7(b *testing.B) { benchArtifact(b, "fig7") }
+
+// BenchmarkFig8a regenerates Figure 8a (deterministic overhead across networks).
+func BenchmarkFig8a(b *testing.B) { benchArtifact(b, "fig8a") }
+
+// BenchmarkFig8b regenerates Figure 8b (overhead vs conv kernel size).
+func BenchmarkFig8b(b *testing.B) { benchArtifact(b, "fig8b") }
+
+// BenchmarkFig9 regenerates Figure 9 (Figure 1 panels on P100).
+func BenchmarkFig9(b *testing.B) { benchArtifact(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (Figure 1 panels on RTX5000).
+func BenchmarkFig10(b *testing.B) { benchArtifact(b, "fig10") }

@@ -1,0 +1,104 @@
+// Command nnrand runs the reproduction experiments for "Randomness in
+// Neural Network Training: Characterizing the Impact of Tooling"
+// (MLSys 2022). Each sub-command regenerates one table or figure of the
+// paper on the simulated accelerator stack.
+//
+// Usage:
+//
+//	nnrand [flags] <experiment> [<experiment>...]
+//	nnrand [flags] all
+//	nnrand list
+//
+// Flags:
+//
+//	-scale    test|quick|full   workload scale (default quick)
+//	-replicas N                 replicas per variant (default: scale-dependent)
+//	-seed     N                 base seed for all seed policies
+//	-tsv                        emit tab-separated values instead of tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "nnrand: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nnrand", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "quick", "workload scale: test, quick or full")
+	replicas := fs.Int("replicas", 0, "replicas per variant (0 = scale default)")
+	seed := fs.Uint64("seed", 20220622, "base seed for all seed policies")
+	tsv := fs.Bool("tsv", false, "emit tab-separated values")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nnrand [flags] <experiment>... | all | list\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given")
+	}
+
+	var scale data.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = data.ScaleTest
+	case "quick":
+		scale = data.ScaleQuick
+	case "full":
+		scale = data.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q (test, quick or full)", *scaleFlag)
+	}
+	cfg := experiments.Config{Scale: scale, Replicas: *replicas, Seed: *seed}
+
+	ids := fs.Args()
+	if len(ids) == 1 && ids[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	for _, id := range ids {
+		runner, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		tables, err := runner(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, tb := range tables {
+			var renderErr error
+			if *tsv {
+				renderErr = tb.RenderTSV(os.Stdout)
+			} else {
+				renderErr = tb.Render(os.Stdout)
+			}
+			if renderErr != nil {
+				return renderErr
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "[%s: %.1fs]\n", id, time.Since(start).Seconds())
+	}
+	return nil
+}

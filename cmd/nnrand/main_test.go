@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"fig99"})
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("unknown experiment: err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	err := run([]string{"-scale", "gigantic", "table4"})
+	if err == nil || !strings.Contains(err.Error(), "gigantic") {
+		t.Fatalf("unknown scale: err = %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheapArtifacts(t *testing.T) {
+	// table3/table4/fig8b involve no training; they exercise the full CLI
+	// path including rendering.
+	if err := run([]string{"-scale", "test", "table3", "table4", "fig8b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "test", "-tsv", "fig8a"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Package repro reproduces "Randomness in Neural Network Training:
+// Characterizing the Impact of Tooling" (Zhuang, Zhang, Song, Hooker —
+// MLSys 2022, arXiv:2106.11872) as a self-contained Go library.
+//
+// The repository builds every system the paper depends on from scratch:
+//
+//   - a float32 tensor/autodiff training stack (internal/tensor,
+//     internal/nn, internal/opt) whose every reduction runs through a
+//     simulated accelerator;
+//   - the accelerator simulation itself (internal/device): CUDA-core GPUs
+//     whose floating-point accumulation order is scheduler state, Tensor
+//     Cores, and a deterministic systolic TPU;
+//   - synthetic datasets with the statistical shape of CIFAR-10/100,
+//     ImageNet and CelebA (internal/data);
+//   - the paper's noise-isolation framework (internal/core): the
+//     ALGO+IMPL / ALGO / IMPL / CONTROL variants, replica training, and the
+//     stability measures (accuracy stddev, predictive churn, weight-space
+//     L2, per-class and sub-group variance);
+//   - an nvprof-style kernel-time model pricing deterministic execution
+//     (internal/profile);
+//   - one experiment harness per table and figure (internal/experiments),
+//     runnable via the nnrand CLI or the root benchmark suite.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution notes, and EXPERIMENTS.md for paper-versus-measured results.
+//
+// RunExperiment regenerates one paper artifact programmatically:
+//
+//	tables, err := repro.RunExperiment("fig5", repro.QuickConfig())
+package repro
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// Config aliases the experiment configuration (scale, replicas, seed).
+type Config = experiments.Config
+
+// QuickConfig returns the default experiment configuration used by the CLI.
+func QuickConfig() Config { return experiments.DefaultConfig() }
+
+// Experiments lists every reproducible table and figure ID.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates the named paper artifact (e.g. "table2",
+// "fig8b") and returns its rendered tables.
+func RunExperiment(id string, cfg Config) ([]*report.Table, error) {
+	runner, err := experiments.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return runner(cfg)
+}

@@ -1,0 +1,64 @@
+// Determinism-cost: price the deterministic-execution patches across
+// networks, filter sizes and GPU generations (paper Section 4, Figure 8).
+//
+// Uses the nvprof-style kernel-time model: default mode dispatches the
+// fastest (often nondeterministic) algorithm per kernel; deterministic mode
+// pins convolutions to implicit GEMM and replaces atomic service kernels.
+//
+//	go run ./examples/determinism-cost
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/profile"
+)
+
+func main() {
+	archs := []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring}
+	names := []string{"P100", "V100", "T4"}
+
+	fmt.Println("Deterministic GPU time relative to default mode")
+	fmt.Println("\nBy network (ImageNet geometry, batch 64):")
+	fmt.Printf("  %-16s %8s %8s %8s\n", "network", names[0], names[1], names[2])
+	for _, g := range models.Zoo() {
+		fmt.Printf("  %-16s", g.Name)
+		for _, a := range archs {
+			ov, err := profile.Overhead(g, a, profile.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %7.0f%%", 100*ov)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nBy convolution kernel size (six-layer medium CNN):")
+	fmt.Printf("  %-16s %8s %8s %8s\n", "kernel", names[0], names[1], names[2])
+	for _, k := range []int{1, 3, 5, 7} {
+		fmt.Printf("  %-16s", fmt.Sprintf("%d x %d", k, k))
+		for _, a := range archs {
+			ov, err := profile.Overhead(models.MediumCNNGraph(k), a, profile.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %7.0f%%", 100*ov)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWhere the time goes (VGG-19 on V100, top 5 kernels):")
+	for _, mode := range []device.Mode{device.Default, device.Deterministic} {
+		p, err := profile.Graph(models.VGG19Graph(), device.ArchVolta, mode, profile.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s mode (total %.0f ms / 100 steps):\n", mode, p.Total)
+		for _, k := range p.TopK(5) {
+			fmt.Printf("    %-24s %10.0f ms  (%4.1f%%)\n", k.Name, k.Millis, 100*k.Millis/p.Total)
+		}
+	}
+}

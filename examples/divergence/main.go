@@ -1,0 +1,78 @@
+// Divergence: watch one-ulp implementation noise amplify into macroscopic
+// weight divergence over the course of training.
+//
+// Trains two replicas in lockstep with identical seeds on the simulated
+// V100 — the only difference between them is the scheduler's accumulation
+// ordering — and prints the maximum weight difference and normalized L2
+// distance after every epoch. The curve starts at rounding scale (~1e-7)
+// and, once SGD's chaotic dynamics take hold, grows by several orders of
+// magnitude.
+//
+//	go run ./examples/divergence
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/trace"
+)
+
+func main() {
+	dataset := data.CIFAR10Like(data.ScaleTest)
+	cfg := core.TrainConfig{
+		Model: func() *nn.Sequential {
+			return models.SmallCNN(models.DefaultSmallCNN(dataset.Classes))
+		},
+		Dataset:  dataset,
+		Device:   device.V100,
+		Epochs:   30,
+		Batch:    32,
+		Schedule: opt.StepDecay{Base: 0.06, Factor: 10, Every: 22},
+		Momentum: 0.9,
+		Augment:  data.Augment{Shift: 1, Flip: true},
+		BaseSeed: 7,
+	}
+
+	fmt.Println("two replicas, identical seeds, IMPL noise only (simulated V100)")
+	tr, err := trace.Pair(cfg, core.Impl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%5s  %12s  %10s  %s\n", "epoch", "max |Δw|", "L2", "log-scale")
+	for _, p := range tr.Points {
+		bar := logBar(p.MaxAbsDiff)
+		fmt.Printf("%5d  %12.3e  %10.6f  %s\n", p.Epoch, p.MaxAbsDiff, p.L2, bar)
+	}
+	if onset := tr.AmplificationOnset(1e-4); onset >= 0 {
+		fmt.Printf("\nrounding noise crossed 1e-4 at epoch %d — from there SGD's\n", onset)
+		fmt.Println("chaotic dynamics carry it to macroscopic divergence (paper §3.1).")
+	} else {
+		fmt.Println("\nno amplification onset at this scale; try more epochs.")
+	}
+}
+
+// logBar renders |Δw| on a log axis from 1e-8 to 1e+1.
+func logBar(v float64) string {
+	if v <= 0 {
+		return ""
+	}
+	const lo, hi = -8.0, 1.0
+	pos := 0.0
+	for x := v; x < 1 && pos > lo; x *= 10 {
+		pos--
+	}
+	n := int((pos - lo) / (hi - lo) * 45)
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}

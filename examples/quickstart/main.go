@@ -1,0 +1,57 @@
+// Quickstart: train a population of small CNNs under each noise variant and
+// print the paper's three stability measures.
+//
+// This is the 60-second version of the paper's core result: even with every
+// algorithmic seed fixed (IMPL), the tooling alone makes replicas diverge —
+// while the CONTROL variant (fixed seeds + deterministic device) is
+// bitwise reproducible.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+func main() {
+	dataset := data.CIFAR10Like(data.ScaleTest)
+	fmt.Printf("dataset: %s\n", dataset)
+
+	cfg := core.TrainConfig{
+		Model: func() *nn.Sequential {
+			return models.SmallCNN(models.DefaultSmallCNN(dataset.Classes))
+		},
+		Dataset:  dataset,
+		Device:   device.V100, // simulated: 5120 CUDA cores of reorder freedom
+		Epochs:   40,
+		Batch:    32,
+		Schedule: opt.StepDecay{Base: 0.06, Factor: 10, Every: 30},
+		Momentum: 0.9,
+		Augment:  data.Augment{Shift: 1, Flip: true},
+		BaseSeed: 42,
+	}
+
+	const replicas = 3
+	fmt.Printf("training %d replicas per variant (%d epochs each)...\n\n", replicas, cfg.Epochs)
+	for _, variant := range []core.Variant{core.AlgoImpl, core.Algo, core.Impl, core.Control} {
+		results, err := core.RunVariant(cfg, variant, replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := core.Summarize(results, dataset.Test.Y, dataset.Classes)
+		fmt.Printf("%-10s accuracy %.1f%% ± %.2f   churn %5.2f%%   weight L2 %.3f\n",
+			variant, st.AccMean, st.AccStd, st.Churn, st.L2)
+	}
+
+	fmt.Println("\nCONTROL rows are exactly zero: fixed seeds + deterministic tooling")
+	fmt.Println("reproduce bitwise. IMPL rows are not: accumulation-order noise alone")
+	fmt.Println("is amplified by SGD into macroscopic divergence (paper, Section 3).")
+}

@@ -1,0 +1,101 @@
+// Package accum implements floating-point reduction strategies whose only
+// difference is the *order* in which partial sums are combined.
+//
+// This is the physical mechanism behind the paper's "implementation noise":
+// GPUs maximize throughput by letting thread blocks commit partial results
+// in whatever order the scheduler produces (atomicAdd, split-K GEMM,
+// multi-pass reductions), and float32 addition is not associative, so two
+// runs of the same kernel on the same data can differ in the last bits.
+// Those one-ulp differences are then amplified by the chaotic dynamics of
+// SGD into macroscopic weight divergence.
+//
+// The strategies here make that mechanism explicit and controllable:
+//
+//   - Sequential: left-to-right, the deterministic reference order.
+//   - Pairwise: balanced-tree reduction, deterministic and more accurate.
+//   - Chunked: partial sums over fixed chunks combined in a caller-supplied
+//     order; permuting the order models scheduler nondeterminism.
+//   - Kahan: compensated summation, used by tests as a high-accuracy oracle.
+package accum
+
+// Sequential sums xs left to right. This is the canonical deterministic
+// order used by the simulated devices in deterministic mode.
+func Sequential(xs []float32) float32 {
+	var s float32
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Pairwise sums xs with a balanced binary tree (recursive halving). It is
+// deterministic and generally closer to the exact sum than Sequential.
+func Pairwise(xs []float32) float32 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	mid := len(xs) / 2
+	return Pairwise(xs[:mid]) + Pairwise(xs[mid:])
+}
+
+// Kahan computes a compensated (Kahan) sum in float64, returning a float32.
+// Tests use it as an accuracy oracle; it is not used on the training path.
+func Kahan(xs []float32) float32 {
+	var sum, c float64
+	for _, v := range xs {
+		y := float64(v) - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return float32(sum)
+}
+
+// ChunkPartials splits xs into nChunks contiguous chunks and returns each
+// chunk's sequential partial sum. The chunking is deterministic; only the
+// later combination order varies.
+func ChunkPartials(xs []float32, nChunks int) []float32 {
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	if nChunks > len(xs) {
+		nChunks = len(xs)
+	}
+	if nChunks == 0 {
+		return nil
+	}
+	partials := make([]float32, nChunks)
+	for c := 0; c < nChunks; c++ {
+		lo := c * len(xs) / nChunks
+		hi := (c + 1) * len(xs) / nChunks
+		partials[c] = Sequential(xs[lo:hi])
+	}
+	return partials
+}
+
+// CombineOrdered folds partials together in the order given by order
+// (indices into partials). A nil order means ascending index order. This
+// models the commit order of thread blocks performing atomic accumulation:
+// same partials, different rounding depending on order.
+func CombineOrdered(partials []float32, order []int) float32 {
+	var s float32
+	if order == nil {
+		for _, p := range partials {
+			s += p
+		}
+		return s
+	}
+	for _, idx := range order {
+		s += partials[idx]
+	}
+	return s
+}
+
+// Chunked sums xs via nChunks partial sums combined in the given order.
+// With order == nil it is fully deterministic.
+func Chunked(xs []float32, nChunks int, order []int) float32 {
+	return CombineOrdered(ChunkPartials(xs, nChunks), order)
+}

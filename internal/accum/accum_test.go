@@ -1,0 +1,185 @@
+package accum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomVec(seed uint64, n int) []float32 {
+	s := rng.New(seed)
+	xs := make([]float32, n)
+	// Mix magnitudes so rounding differences actually appear.
+	for i := range xs {
+		xs[i] = float32(s.Norm()) * float32(math.Pow(10, s.Uniform(-3, 3)))
+	}
+	return xs
+}
+
+func TestSequentialEmptyAndSingle(t *testing.T) {
+	if Sequential(nil) != 0 {
+		t.Fatal("Sequential(nil) != 0")
+	}
+	if Sequential([]float32{3}) != 3 {
+		t.Fatal("Sequential single element")
+	}
+}
+
+func TestPairwiseMatchesSequentialExactValues(t *testing.T) {
+	// Small integers are exact in float32, so every order agrees.
+	xs := []float32{1, 2, 3, 4, 5, 6, 7}
+	if Pairwise(xs) != Sequential(xs) {
+		t.Fatal("Pairwise != Sequential on exact values")
+	}
+}
+
+func TestKahanIsMoreAccurate(t *testing.T) {
+	// 1 + eps + eps + ... where eps is below float32 resolution at 1.0:
+	// sequential float32 drops every eps; Kahan keeps them.
+	xs := make([]float32, 1001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-8
+	}
+	seq := Sequential(xs)
+	kah := Kahan(xs)
+	if seq != 1 {
+		t.Fatalf("expected sequential float32 to drop tiny addends, got %v", seq)
+	}
+	if kah <= 1 {
+		t.Fatalf("Kahan lost tiny addends: %v", kah)
+	}
+}
+
+func TestChunkPartialsCoverEverything(t *testing.T) {
+	xs := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, n := range []int{1, 2, 3, 5, 10, 17} {
+		ps := ChunkPartials(xs, n)
+		var total float32
+		for _, p := range ps {
+			total += p
+		}
+		if total != 55 {
+			t.Fatalf("nChunks=%d: partials sum to %v, want 55", n, total)
+		}
+	}
+}
+
+func TestChunkPartialsDegenerate(t *testing.T) {
+	if got := ChunkPartials(nil, 4); got != nil {
+		t.Fatalf("ChunkPartials(nil) = %v", got)
+	}
+	ps := ChunkPartials([]float32{2}, 0)
+	if len(ps) != 1 || ps[0] != 2 {
+		t.Fatalf("ChunkPartials single with nChunks=0: %v", ps)
+	}
+}
+
+func TestCombineOrderedPermutationExact(t *testing.T) {
+	// On exact values every order gives the same answer.
+	ps := []float32{1, 2, 4, 8}
+	if CombineOrdered(ps, []int{3, 1, 0, 2}) != 15 {
+		t.Fatal("CombineOrdered wrong on exact values")
+	}
+	if CombineOrdered(ps, nil) != 15 {
+		t.Fatal("CombineOrdered(nil order) wrong")
+	}
+}
+
+func TestOrderChangesRounding(t *testing.T) {
+	// The core claim of the whole simulation: for generic float32 data,
+	// there exist chunk orders whose sums differ in the low bits.
+	found := false
+	for seed := uint64(0); seed < 20 && !found; seed++ {
+		xs := randomVec(seed, 4096)
+		ps := ChunkPartials(xs, 64)
+		base := CombineOrdered(ps, nil)
+		s := rng.New(seed + 1000)
+		for trial := 0; trial < 50; trial++ {
+			if CombineOrdered(ps, s.Perm(len(ps))) != base {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no accumulation order produced a different rounding; IMPL noise mechanism broken")
+	}
+}
+
+func TestOrderNoiseIsTiny(t *testing.T) {
+	// The perturbation must be at rounding scale (relative ~1e-6), not
+	// macroscopic: implementation noise is one-ulp physics, and the tests
+	// for training divergence rely on amplification, not on large injected
+	// errors.
+	xs := randomVec(7, 4096)
+	ps := ChunkPartials(xs, 64)
+	exact := float64(Kahan(xs))
+	scale := math.Abs(exact)
+	if scale < 1 {
+		scale = 1
+	}
+	s := rng.New(99)
+	for trial := 0; trial < 100; trial++ {
+		got := float64(CombineOrdered(ps, s.Perm(len(ps))))
+		if rel := math.Abs(got-exact) / scale; rel > 1e-3 {
+			t.Fatalf("order noise too large: relative error %v", rel)
+		}
+	}
+}
+
+func TestChunkedDeterministicGivenOrder(t *testing.T) {
+	xs := randomVec(3, 1024)
+	order := rng.New(5).Perm(32)
+	a := Chunked(xs, 32, order)
+	b := Chunked(xs, 32, order)
+	if a != b {
+		t.Fatal("Chunked with fixed order is nondeterministic")
+	}
+}
+
+func TestAllStrategiesCloseToOracle(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		xs := randomVec(seed, 2048)
+		oracle := float64(Kahan(xs))
+		scale := math.Abs(oracle) + 1
+		for name, got := range map[string]float32{
+			"sequential": Sequential(xs),
+			"pairwise":   Pairwise(xs),
+			"chunked":    Chunked(xs, 16, nil),
+		} {
+			if rel := math.Abs(float64(got)-oracle) / scale; rel > 1e-3 {
+				t.Errorf("seed %d: %s relative error %v vs oracle", seed, name, rel)
+			}
+		}
+	}
+}
+
+func TestChunkedPropertyExactIntegers(t *testing.T) {
+	// Property: for integer-valued float32 inputs (exact arithmetic), all
+	// strategies and all chunk counts agree exactly.
+	f := func(seed uint64, nChunksRaw uint8) bool {
+		s := rng.New(seed)
+		xs := make([]float32, 257)
+		for i := range xs {
+			xs[i] = float32(s.Intn(201) - 100)
+		}
+		n := int(nChunksRaw)%64 + 1
+		seq := Sequential(xs)
+		return Pairwise(xs) == seq &&
+			Chunked(xs, n, nil) == seq &&
+			Chunked(xs, n, rng.New(seed+1).Perm(min(n, len(xs)))) == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func newNet(seed uint64) *nn.Sequential {
+	net := models.SmallCNN(models.DefaultSmallCNN(10))
+	net.Init(rng.New(seed))
+	return net
+}
+
+func TestRoundTripBitExact(t *testing.T) {
+	src := newNet(1)
+	// Plant awkward values: negative zero, denormals, extremes.
+	w := src.Params()[0].Value.Data()
+	w[0] = float32(math.Copysign(0, -1))
+	w[1] = math.SmallestNonzeroFloat32
+	w[2] = -math.MaxFloat32
+
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newNet(2) // different init; must be fully overwritten
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	sw, dw := src.WeightVector(), dst.WeightVector()
+	for i := range sw {
+		if math.Float32bits(sw[i]) != math.Float32bits(dw[i]) {
+			t.Fatalf("weight %d not bit-exact: %x vs %x", i, math.Float32bits(sw[i]), math.Float32bits(dw[i]))
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, newNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	other := models.ResNet18(10)
+	other.Init(rng.New(1))
+	if err := Load(&buf, other); err == nil {
+		t.Fatal("loading a SmallCNN checkpoint into ResNet18 did not error")
+	}
+}
+
+func TestLoadRejectsCorruptMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, newNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if err := Load(bytes.NewReader(b), newNet(1)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupt magic: err = %v", err)
+	}
+}
+
+func TestLoadDetectsBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, newNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)/2] ^= 0x01 // flip a payload bit
+	err := Load(bytes.NewReader(b), newNet(1))
+	if err == nil {
+		t.Fatal("bit flip in payload went undetected")
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, newNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()/2]
+	if err := Load(bytes.NewReader(b), newNet(1)); err == nil {
+		t.Fatal("truncated checkpoint loaded")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Save(&a, newNet(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, newNet(7)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same network serialized differently twice")
+	}
+}
+
+func TestCheckpointAuditsControlReplicas(t *testing.T) {
+	// The use case the package exists for: two CONTROL-variant replicas
+	// must produce byte-identical checkpoints.
+	var a, b bytes.Buffer
+	if err := Save(&a, newNet(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, newNet(42)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identically seeded networks have different checkpoints")
+	}
+	// And a differently seeded one must not.
+	var c bytes.Buffer
+	if err := Save(&c, newNet(43)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("differently seeded networks have identical checkpoints")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// BenchmarkTrainingStep measures one forward+backward+update step of the
+// small CNN on each class of simulated part — the wall-clock price of the
+// accumulation-order machinery in this pure-Go stack (the modeled cuDNN
+// prices are in internal/profile).
+func BenchmarkTrainingStep(b *testing.B) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	for _, cfg := range []struct {
+		dev  device.Config
+		mode device.Mode
+	}{
+		{device.V100, device.Default},
+		{device.V100, device.Deterministic},
+		{device.TPUv2, device.Default},
+	} {
+		b.Run(cfg.dev.Name+"/"+cfg.mode.String(), func(b *testing.B) {
+			tc := TrainConfig{
+				Model:    func() *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(ds.Classes)) },
+				Dataset:  ds,
+				Device:   cfg.dev,
+				Epochs:   1,
+				Batch:    32,
+				Schedule: opt.Constant(0.01),
+				Momentum: 0.9,
+				BaseSeed: 1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunReplica(tc, AlgoImpl, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplicaResNet18 measures a one-epoch ResNet-18 replica, the unit
+// of work behind every population in the figure harnesses.
+func BenchmarkReplicaResNet18(b *testing.B) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	tc := TrainConfig{
+		Model:    func() *nn.Sequential { return models.ResNet18(ds.Classes) },
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   1,
+		Batch:    32,
+		Schedule: opt.Constant(0.01),
+		Momentum: 0.9,
+		BaseSeed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReplica(tc, AlgoImpl, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// testConfig is a small but noise-faithful workload: the unnormalized small
+// CNN that the paper shows amplifies noise the most.
+func testConfig() TrainConfig {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	return TrainConfig{
+		Model:    func() *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(ds.Classes)) },
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   3,
+		Batch:    32,
+		Schedule: opt.Constant(0.02),
+		Momentum: 0.9,
+		Augment:  data.Augment{Shift: 1, Flip: true},
+		BaseSeed: 1234,
+	}
+}
+
+func TestVariantSpecs(t *testing.T) {
+	if s := AlgoImpl.Spec(); !s.VaryInit || !s.VaryShuffle || !s.VaryAugment || !s.VaryImpl {
+		t.Fatalf("ALGO+IMPL spec %+v", s)
+	}
+	if s := Algo.Spec(); !s.VaryInit || s.VaryImpl {
+		t.Fatalf("ALGO spec %+v", s)
+	}
+	if s := Impl.Spec(); s.VaryInit || s.VaryShuffle || s.VaryAugment || !s.VaryImpl {
+		t.Fatalf("IMPL spec %+v", s)
+	}
+	if s := Control.Spec(); s != (NoiseSpec{}) {
+		t.Fatalf("CONTROL spec %+v", s)
+	}
+	if s := DataOrderOnly.Spec(); !s.VaryShuffle || s.VaryInit || s.VaryImpl || s.VaryAugment {
+		t.Fatalf("DATA-ORDER spec %+v", s)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	want := map[Variant]string{AlgoImpl: "ALGO+IMPL", Algo: "ALGO", Impl: "IMPL", Control: "CONTROL", DataOrderOnly: "DATA-ORDER"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+func TestControlVariantBitwiseReproducible(t *testing.T) {
+	cfg := testConfig()
+	a, err := RunReplica(cfg, Control, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplica(cfg, Control, 7) // replica index must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Weights) != len(b.Weights) {
+		t.Fatal("weight vectors differ in length")
+	}
+	for i := range a.Weights {
+		if math.Float32bits(a.Weights[i]) != math.Float32bits(b.Weights[i]) {
+			t.Fatalf("CONTROL weights differ at %d: %v vs %v", i, a.Weights[i], b.Weights[i])
+		}
+	}
+	for i := range a.Predictions {
+		if a.Predictions[i] != b.Predictions[i] {
+			t.Fatal("CONTROL predictions differ")
+		}
+	}
+	if a.TestAccuracy != b.TestAccuracy {
+		t.Fatal("CONTROL accuracy differs")
+	}
+}
+
+// divergenceConfig trains long enough at a high enough learning rate for
+// one-ulp implementation noise to amplify into macroscopic divergence (the
+// empirical threshold is ~25 epochs at lr 0.06 on this workload).
+func divergenceConfig() TrainConfig {
+	cfg := testConfig()
+	cfg.Epochs = 30
+	cfg.Schedule = opt.StepDecay{Base: 0.06, Factor: 10, Every: 22}
+	return cfg
+}
+
+func TestTrainingLearns(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epochs = 8
+	res, err := RunReplica(cfg, Control, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.3 {
+		t.Fatalf("test accuracy %.3f; training is not learning (chance = 0.1)", res.TestAccuracy)
+	}
+	if res.EpochLoss[len(res.EpochLoss)-1] >= res.EpochLoss[0] {
+		t.Fatalf("loss did not decrease: %v", res.EpochLoss)
+	}
+}
+
+func TestImplVariantDiverges(t *testing.T) {
+	// The paper's central claim: with all algorithmic seeds fixed, tooling
+	// noise alone produces macroscopic divergence between replicas.
+	cfg := divergenceConfig()
+	results, err := RunVariant(cfg, Impl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(results, cfg.Dataset.Test.Y, cfg.Dataset.Classes)
+	if st.Churn == 0 {
+		t.Fatal("IMPL variant produced zero churn; implementation noise is not being amplified")
+	}
+	if st.L2 == 0 {
+		t.Fatal("IMPL variant produced identical weights")
+	}
+}
+
+func TestAlgoVariantDiverges(t *testing.T) {
+	cfg := testConfig()
+	results, err := RunVariant(cfg, Algo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(results, cfg.Dataset.Test.Y, cfg.Dataset.Classes)
+	if st.Churn == 0 || st.L2 == 0 {
+		t.Fatalf("ALGO variant produced no divergence: churn=%v l2=%v", st.Churn, st.L2)
+	}
+}
+
+func TestAlgoVariantDeterministicGivenReplica(t *testing.T) {
+	// Same replica index twice under ALGO uses identical seeds and a
+	// deterministic device, so results must be bitwise equal.
+	cfg := testConfig()
+	a, err := RunReplica(cfg, Algo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplica(cfg, Algo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("ALGO replica is not replayable")
+		}
+	}
+}
+
+func TestControlOnTPUDeterministicEvenInDefaultMode(t *testing.T) {
+	// DataOrderOnly with identical shuffle replica on TPU: systolic device
+	// in Default mode must still be bitwise reproducible.
+	cfg := testConfig()
+	cfg.Device = device.TPUv2
+	a, err := RunReplica(cfg, Impl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplica(cfg, Impl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("TPU under IMPL-only noise must be deterministic (systolic execution)")
+		}
+	}
+}
+
+func TestDataOrderOnlyDivergesEvenOnTPU(t *testing.T) {
+	// Figure 6: varying only the shuffle order breaks determinism even on
+	// deterministic hardware, because batch composition changes the
+	// floating-point accumulation sequence.
+	cfg := testConfig()
+	cfg.Device = device.TPUv2
+	results, err := RunVariant(cfg, DataOrderOnly, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(results, cfg.Dataset.Test.Y, cfg.Dataset.Classes)
+	if st.Churn == 0 {
+		t.Fatal("data-order noise on TPU produced zero churn")
+	}
+}
+
+func TestSummarizeShape(t *testing.T) {
+	cfg := testConfig()
+	results, err := RunVariant(cfg, AlgoImpl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(results, cfg.Dataset.Test.Y, cfg.Dataset.Classes)
+	if st.Replicas != 3 || st.Variant != AlgoImpl {
+		t.Fatalf("summary header wrong: %+v", st)
+	}
+	if st.AccMean <= 0 || st.AccMean > 100 {
+		t.Fatalf("AccMean %v out of range", st.AccMean)
+	}
+	if len(st.PerClassStd) != cfg.Dataset.Classes {
+		t.Fatalf("PerClassStd has %d entries", len(st.PerClassStd))
+	}
+	if st.MaxPerClassStd < st.PerClassStd[0] {
+		t.Fatal("MaxPerClassStd below a per-class value")
+	}
+	if st.Churn < 0 || st.Churn > 100 {
+		t.Fatalf("churn %v out of percent range", st.Churn)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil, nil, 3)
+	if st.Replicas != 0 || st.Churn != 0 {
+		t.Fatalf("empty summary %+v", st)
+	}
+}
+
+func TestRunVariantValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := RunVariant(cfg, Algo, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	bad := cfg
+	bad.Epochs = 0
+	if _, err := RunReplica(bad, Algo, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	bad2 := cfg
+	bad2.Schedule = nil
+	if _, err := RunReplica(bad2, Algo, 0); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	bad3 := cfg
+	bad3.Model = nil
+	if _, err := RunReplica(bad3, Algo, 0); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestSummarizeSubgroups(t *testing.T) {
+	ds := data.CelebALike(data.ScaleTest)
+	cfg := TrainConfig{
+		Model:    models.CelebAResNet18,
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   2,
+		Batch:    32,
+		Schedule: opt.Constant(0.02),
+		Momentum: 0.9,
+		BaseSeed: 99,
+	}
+	results, err := RunVariant(cfg, AlgoImpl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := SummarizeSubgroups(results, ds.Test)
+	if len(sub) != 5 || sub[0].Group != "All" {
+		t.Fatalf("subgroup rows: %+v", sub)
+	}
+	for _, s := range sub[1:] {
+		if s.Group == "" {
+			t.Fatal("unnamed subgroup")
+		}
+		if s.AccScale < 0 {
+			t.Fatalf("negative scale: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+)
+
+// Stability summarizes a replica population with the paper's three primary
+// measures plus the dis-aggregated views.
+type Stability struct {
+	Variant  Variant
+	Replicas int
+
+	// AccMean and AccStd summarize top-1 test accuracy (percent).
+	AccMean float64
+	AccStd  float64
+	// Churn is the mean pairwise predictive churn (percent of test set).
+	Churn float64
+	// L2 is the mean pairwise normalized weight distance.
+	L2 float64
+	// PerClassStd is the stddev of each class's accuracy across replicas
+	// (percent); MaxPerClassStd is its maximum over classes.
+	PerClassStd    []float64
+	MaxPerClassStd float64
+}
+
+// Summarize computes the stability report for a replica population trained
+// on a classification dataset with the given class count.
+func Summarize(results []*RunResult, testLabels []int, classes int) Stability {
+	st := Stability{Replicas: len(results)}
+	if len(results) == 0 {
+		return st
+	}
+	st.Variant = results[0].Variant
+
+	accs := make([]float64, len(results))
+	preds := make([][]int, len(results))
+	weights := make([][]float32, len(results))
+	for i, r := range results {
+		accs[i] = r.TestAccuracy * 100
+		preds[i] = r.Predictions
+		weights[i] = r.Weights
+	}
+	st.AccMean = metrics.Mean(accs)
+	st.AccStd = metrics.StdDev(accs)
+	st.Churn = metrics.PairwiseMeanChurn(preds) * 100
+	st.L2 = metrics.PairwiseMeanL2(weights)
+
+	// Per-class accuracy spread across replicas.
+	perClass := make([][]float64, classes) // class -> accuracy per replica
+	for k := range perClass {
+		perClass[k] = make([]float64, 0, len(results))
+	}
+	for _, r := range results {
+		pc := metrics.PerClassAccuracy(r.Predictions, testLabels, classes)
+		for k, v := range pc {
+			if !math.IsNaN(v) {
+				perClass[k] = append(perClass[k], v*100)
+			}
+		}
+	}
+	st.PerClassStd = make([]float64, classes)
+	for k := range perClass {
+		st.PerClassStd[k] = metrics.StdDev(perClass[k])
+		if st.PerClassStd[k] > st.MaxPerClassStd {
+			st.MaxPerClassStd = st.PerClassStd[k]
+		}
+	}
+	return st
+}
+
+// SubgroupStability reports the stddev across replicas of accuracy, FPR and
+// FNR for one sub-group, with relative scale against the overall dataset
+// (the parenthesized multipliers of the paper's Table 5).
+type SubgroupStability struct {
+	Group                        string
+	AccStd, FPRStd, FNRStd       float64
+	AccScale, FPRScale, FNRScale float64 // relative to the "All" row
+}
+
+// SummarizeSubgroups computes Table 5 / Figure 3: per-subgroup stddev of
+// accuracy, FPR and FNR across replicas, on an attribute split. The first
+// entry is the overall dataset ("All") against which scales are normalized.
+func SummarizeSubgroups(results []*RunResult, sp *data.Split) []SubgroupStability {
+	groups := []struct {
+		name string
+		in   func(i int) bool
+	}{
+		{"All", nil},
+		{"Male", func(i int) bool { return sp.Male[i] }},
+		{"Female", func(i int) bool { return !sp.Male[i] }},
+		{"Young", func(i int) bool { return !sp.Old[i] }},
+		{"Old", func(i int) bool { return sp.Old[i] }},
+	}
+	out := make([]SubgroupStability, len(groups))
+	var allAcc, allFPR, allFNR float64
+	for gi, g := range groups {
+		var accs, fprs, fnrs []float64
+		for _, r := range results {
+			rates := metrics.BinaryRatesOn(r.Predictions, sp.Y, g.in)
+			accs = append(accs, rates.Accuracy*100)
+			if !math.IsNaN(rates.FPR) {
+				fprs = append(fprs, rates.FPR*100)
+			}
+			if !math.IsNaN(rates.FNR) {
+				fnrs = append(fnrs, rates.FNR*100)
+			}
+		}
+		s := SubgroupStability{
+			Group:  g.name,
+			AccStd: metrics.StdDev(accs),
+			FPRStd: metrics.StdDev(fprs),
+			FNRStd: metrics.StdDev(fnrs),
+		}
+		if gi == 0 {
+			allAcc, allFPR, allFNR = s.AccStd, s.FPRStd, s.FNRStd
+		}
+		s.AccScale = scaleOf(s.AccStd, allAcc)
+		s.FPRScale = scaleOf(s.FPRStd, allFPR)
+		s.FNRScale = scaleOf(s.FNRStd, allFNR)
+		out[gi] = s
+	}
+	return out
+}
+
+func scaleOf(v, base float64) float64 {
+	if base == 0 {
+		if v == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return v / base
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// TrainConfig describes one dataset/model/hardware training recipe.
+type TrainConfig struct {
+	// Model constructs a fresh, uninitialized network. Each replica builds
+	// its own copy.
+	Model func() *nn.Sequential
+	// Dataset supplies the train and test splits.
+	Dataset *data.Dataset
+	// Device is the simulated accelerator to train on.
+	Device device.Config
+	// Epochs, Batch, Schedule, Momentum define the optimization recipe.
+	Epochs   int
+	Batch    int
+	Schedule opt.Schedule
+	Momentum float64
+	// Augment configures stochastic input augmentation.
+	Augment data.Augment
+	// BaseSeed anchors every seed policy; two configs with the same BaseSeed
+	// and variant reproduce each other exactly.
+	BaseSeed uint64
+}
+
+func (c TrainConfig) validate() error {
+	if c.Model == nil || c.Dataset == nil {
+		return fmt.Errorf("core: TrainConfig needs Model and Dataset")
+	}
+	if c.Epochs <= 0 || c.Batch <= 0 {
+		return fmt.Errorf("core: TrainConfig needs positive Epochs and Batch, got %d/%d", c.Epochs, c.Batch)
+	}
+	if c.Schedule == nil {
+		return fmt.Errorf("core: TrainConfig needs a Schedule")
+	}
+	return nil
+}
+
+// RunResult is the outcome of training one replica.
+type RunResult struct {
+	Variant      Variant
+	Replica      int
+	TestAccuracy float64
+	// Predictions holds the argmax test-set predictions in split order.
+	Predictions []int
+	// Weights is the flattened trained weight vector.
+	Weights []float32
+	// EpochLoss records the mean training loss per epoch.
+	EpochLoss []float64
+}
+
+// SeedsFor derives a replica's seed policy from the variant. Factors that
+// vary get a replica-indexed stream; controlled factors reuse the base
+// stream. The device entropy seed stands in for unobservable scheduler
+// state (see DESIGN.md §5): replicas get distinct entropy when IMPL varies.
+func SeedsFor(base uint64, v Variant, replica int) (initS, shuffleS, augS *rng.Stream, mode device.Mode, entropy *rng.Stream) {
+	spec := v.Spec()
+	root := rng.New(base)
+	pick := func(label string, vary bool) *rng.Stream {
+		s := root.Split(label)
+		if vary {
+			return s.SplitIndex(replica)
+		}
+		return s
+	}
+	initS = pick("init", spec.VaryInit)
+	shuffleS = pick("shuffle", spec.VaryShuffle)
+	augS = pick("augment", spec.VaryAugment)
+	if spec.VaryImpl {
+		mode = device.Default
+		entropy = root.Split("hw-entropy").SplitIndex(replica)
+	} else {
+		mode = device.Deterministic
+	}
+	return initS, shuffleS, augS, mode, entropy
+}
+
+// RunReplica trains a single replica under the variant's seed policy and
+// returns its trained state and test-set behaviour.
+func RunReplica(cfg TrainConfig, v Variant, replica int) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	initS, shuffleS, augS, mode, entropy := SeedsFor(cfg.BaseSeed, v, replica)
+
+	net := cfg.Model()
+	net.Init(initS)
+	dev := device.New(cfg.Device, mode, entropy)
+	loader := data.NewLoader(cfg.Dataset, cfg.Dataset.Train, cfg.Batch, cfg.Augment)
+	sgd := opt.NewSGD(cfg.Momentum, 0)
+
+	res := &RunResult{Variant: v, Replica: replica}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Schedule.LR(epoch)
+		var epochLoss float64
+		batches := loader.Epoch(shuffleS.SplitIndex(epoch), augS.SplitIndex(epoch))
+		for _, b := range batches {
+			net.ZeroGrad()
+			logits := net.Forward(dev, b.X, true)
+			loss, dlogits := nn.SoftmaxCrossEntropy(dev, logits, b.Labels)
+			net.Backward(dev, dlogits)
+			sgd.Step(net.Params(), lr)
+			epochLoss += loss
+		}
+		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(len(batches)))
+	}
+
+	res.Predictions = Predict(net, dev, cfg.Dataset, cfg.Dataset.Test, cfg.Batch)
+	correct := 0
+	for i, p := range res.Predictions {
+		if p == cfg.Dataset.Test.Y[i] {
+			correct++
+		}
+	}
+	res.TestAccuracy = float64(correct) / float64(len(res.Predictions))
+	res.Weights = net.WeightVector()
+	return res, nil
+}
+
+// Predict runs the network over a split in fixed order (no shuffling, no
+// augmentation, eval-mode statistics) and returns argmax predictions.
+func Predict(net *nn.Sequential, dev *device.Device, d *data.Dataset, sp *data.Split, batch int) []int {
+	loader := data.NewLoader(d, sp, batch, data.Augment{})
+	var preds []int
+	for _, b := range loader.Epoch(nil, nil) {
+		logits := net.Forward(dev, b.X, false)
+		preds = append(preds, logits.ArgmaxRows()...)
+	}
+	return preds
+}
+
+// RunVariant trains `replicas` independent replicas under the variant.
+func RunVariant(cfg TrainConfig, v Variant, replicas int) ([]*RunResult, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("core: need at least one replica, got %d", replicas)
+	}
+	out := make([]*RunResult, replicas)
+	for r := 0; r < replicas; r++ {
+		res, err := RunReplica(cfg, v, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: variant %s replica %d: %w", v, r, err)
+		}
+		out[r] = res
+	}
+	return out, nil
+}

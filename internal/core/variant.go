@@ -1,0 +1,75 @@
+// Package core implements the paper's primary contribution: a framework
+// that trains populations of replicas under controlled noise variants —
+// ALGO+IMPL (nothing controlled), ALGO (deterministic tooling, stochastic
+// algorithm), IMPL (fixed algorithmic seeds, nondeterministic tooling), and
+// CONTROL (everything fixed) — and measures model stability across the
+// population: accuracy spread, predictive churn, weight-space L2 distance,
+// per-class and sub-group variance.
+package core
+
+// Variant names one of the paper's experimental arms (Section 2.2), plus
+// the data-order-only arm used by Figure 6.
+type Variant int
+
+// Experimental variants.
+const (
+	// AlgoImpl leaves every noise source active (the default training setup).
+	AlgoImpl Variant = iota
+	// Algo controls implementation noise (deterministic device), leaving
+	// algorithmic factors stochastic.
+	Algo
+	// Impl fixes all algorithmic seeds, leaving tooling noise active.
+	Impl
+	// Control fixes algorithmic seeds and runs deterministic tooling;
+	// replicas are bitwise identical.
+	Control
+	// DataOrderOnly fixes everything except the shuffle order — the Figure 6
+	// arm showing that input ordering alone breaks determinism even on
+	// deterministic hardware.
+	DataOrderOnly
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (v Variant) String() string {
+	switch v {
+	case AlgoImpl:
+		return "ALGO+IMPL"
+	case Algo:
+		return "ALGO"
+	case Impl:
+		return "IMPL"
+	case Control:
+		return "CONTROL"
+	case DataOrderOnly:
+		return "DATA-ORDER"
+	}
+	return "UNKNOWN"
+}
+
+// StandardVariants are the three arms every comparison figure reports.
+var StandardVariants = []Variant{AlgoImpl, Algo, Impl}
+
+// NoiseSpec says which stochastic factors vary across replicas under a
+// variant. Everything not varied is pinned to the experiment's base seed.
+type NoiseSpec struct {
+	VaryInit    bool // random weight initialization
+	VaryShuffle bool // data shuffling order
+	VaryAugment bool // stochastic data augmentation
+	VaryImpl    bool // accelerator accumulation ordering
+}
+
+// Spec returns the factor toggles for the variant.
+func (v Variant) Spec() NoiseSpec {
+	switch v {
+	case AlgoImpl:
+		return NoiseSpec{VaryInit: true, VaryShuffle: true, VaryAugment: true, VaryImpl: true}
+	case Algo:
+		return NoiseSpec{VaryInit: true, VaryShuffle: true, VaryAugment: true}
+	case Impl:
+		return NoiseSpec{VaryImpl: true}
+	case DataOrderOnly:
+		return NoiseSpec{VaryShuffle: true}
+	default:
+		return NoiseSpec{}
+	}
+}

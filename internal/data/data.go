@@ -1,0 +1,53 @@
+// Package data provides the synthetic datasets that stand in for the
+// paper's CIFAR-10/100, ImageNet and CelebA workloads (the originals are a
+// data gate this offline reproduction cannot ship; see DESIGN.md §2).
+//
+// Each generator is a deterministic function of a "world seed" that is kept
+// separate from every experiment seed: the dataset is part of the fixture,
+// not a noise source. What the paper needs from its datasets is their
+// statistical shape — confusable classes that leave residual error for
+// churn to act on, a long tail of harder classes (CIFAR-100), and the
+// CelebA attribute imbalance (Table 3) that drives disproportionate
+// sub-group variance — and the generators reproduce exactly those shapes.
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Split is one train or test partition.
+type Split struct {
+	X *tensor.Tensor // (N, C, H, W)
+	Y []int          // class labels, or binary target for attribute datasets
+
+	// Attribute datasets (CelebA-like) also carry protected attributes.
+	Male []bool
+	Old  []bool
+}
+
+// N returns the number of examples.
+func (s *Split) N() int { return len(s.Y) }
+
+// Dataset bundles a train and test split with its geometry.
+type Dataset struct {
+	Name    string
+	Classes int
+	C, H, W int
+	Train   *Split
+	Test    *Split
+}
+
+// String summarizes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s: %d/%d train/test, %d classes, %dx%dx%d",
+		d.Name, d.Train.N(), d.Test.N(), d.Classes, d.C, d.H, d.W)
+}
+
+// Example copies example i of the split into a fresh (C,H,W)-shaped slice
+// inside dst, which must have room for C*H*W values.
+func (s *Split) Example(i int, dst []float32) {
+	chw := s.X.Len() / s.N()
+	copy(dst, s.X.Data()[i*chw:(i+1)*chw])
+}

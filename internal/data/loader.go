@@ -1,0 +1,126 @@
+package data
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Augment configures the stochastic input transformations the paper lists
+// as algorithmic noise sources (random crop via shift padding, horizontal
+// flip). Augmentation draws come from the loader's algorithmic stream, so
+// the IMPL and CONTROL variants make them reproducible with a fixed seed.
+type Augment struct {
+	// Shift pads by Shift pixels and randomly crops back (a random
+	// translation of up to ±Shift).
+	Shift int
+	// Flip enables random horizontal flips.
+	Flip bool
+}
+
+// Enabled reports whether any augmentation is active.
+func (a Augment) Enabled() bool { return a.Shift > 0 || a.Flip }
+
+// Batch is one training or evaluation batch.
+type Batch struct {
+	X       *tensor.Tensor // (B, C, H, W)
+	Labels  []int
+	Indices []int // positions in the source split
+}
+
+// Loader shuffles, augments and batches a split. The shuffle order and
+// augmentation draws come from the stream passed to Epoch, which the noise
+// framework derives from the replica's algorithmic seed policy.
+type Loader struct {
+	split   *Split
+	c, h, w int
+	batch   int
+	aug     Augment
+}
+
+// NewLoader builds a loader over sp with the given batch size.
+func NewLoader(d *Dataset, sp *Split, batch int, aug Augment) *Loader {
+	if batch <= 0 {
+		panic("data: batch size must be positive")
+	}
+	return &Loader{split: sp, c: d.C, h: d.H, w: d.W, batch: batch, aug: aug}
+}
+
+// Epoch returns the batches of one pass over the split, shuffled with
+// draws from shuffleStream and augmented with draws from augStream. Either
+// stream may be nil to disable that factor independently — the noise
+// framework uses this to isolate data-order noise (paper Fig. 6) from
+// augmentation noise. Both nil gives the fixed evaluation order.
+func (l *Loader) Epoch(shuffleStream, augStream *rng.Stream) []Batch {
+	n := l.split.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if shuffleStream != nil {
+		shuffleStream.Split("shuffle").Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	if augStream != nil {
+		augStream = augStream.Split("augment")
+	}
+
+	chw := l.c * l.h * l.w
+	var batches []Batch
+	for start := 0; start < n; start += l.batch {
+		end := start + l.batch
+		if end > n {
+			end = n
+		}
+		b := Batch{
+			X:       tensor.New(end-start, l.c, l.h, l.w),
+			Labels:  make([]int, end-start),
+			Indices: make([]int, end-start),
+		}
+		xd := b.X.Data()
+		for bi, src := range order[start:end] {
+			dst := xd[bi*chw : (bi+1)*chw]
+			l.split.Example(src, dst)
+			if augStream != nil && l.aug.Enabled() {
+				l.augment(augStream, dst)
+			}
+			b.Labels[bi] = l.split.Y[src]
+			b.Indices[bi] = src
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// augment applies shift-crop and flip in place to one (C,H,W) example.
+func (l *Loader) augment(s *rng.Stream, img []float32) {
+	if l.aug.Shift > 0 {
+		dx := s.Intn(2*l.aug.Shift+1) - l.aug.Shift
+		dy := s.Intn(2*l.aug.Shift+1) - l.aug.Shift
+		if dx != 0 || dy != 0 {
+			shifted := make([]float32, len(img))
+			for c := 0; c < l.c; c++ {
+				for y := 0; y < l.h; y++ {
+					sy := y + dy
+					for x := 0; x < l.w; x++ {
+						sx := x + dx
+						var v float32
+						if sy >= 0 && sy < l.h && sx >= 0 && sx < l.w {
+							v = img[(c*l.h+sy)*l.w+sx]
+						}
+						shifted[(c*l.h+y)*l.w+x] = v
+					}
+				}
+			}
+			copy(img, shifted)
+		}
+	}
+	if l.aug.Flip && s.Bernoulli(0.5) {
+		for c := 0; c < l.c; c++ {
+			for y := 0; y < l.h; y++ {
+				row := img[(c*l.h+y)*l.w : (c*l.h+y+1)*l.w]
+				for x, xx := 0, l.w-1; x < xx; x, xx = x+1, xx-1 {
+					row[x], row[xx] = row[xx], row[x]
+				}
+			}
+		}
+	}
+}

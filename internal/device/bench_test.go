@@ -1,0 +1,66 @@
+package device
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Micro-benchmarks for the simulated kernels: the cost of the
+// accumulation-order machinery relative to the plain deterministic path.
+
+func benchMatMul(b *testing.B, cfg Config, mode Mode) {
+	a := tensor.New(32, 512)
+	c := tensor.New(512, 64)
+	rng.New(1).FillNorm(a.Data(), 0, 1)
+	rng.New(2).FillNorm(c.Data(), 0, 1)
+	dev := New(cfg, mode, rng.New(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.MatMul(a, c, false, false)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, cfg := range []Config{CPU, V100, RTX5000TC, TPUv2} {
+		for _, mode := range []Mode{Default, Deterministic} {
+			b.Run(fmt.Sprintf("%s/%s", cfg.Name, mode), func(b *testing.B) {
+				benchMatMul(b, cfg, mode)
+			})
+		}
+	}
+}
+
+func BenchmarkReduceSum(b *testing.B) {
+	xs := make([]float32, 1<<16)
+	rng.New(4).FillNorm(xs, 0, 1)
+	for _, cfg := range []Config{CPU, V100} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			dev := New(cfg, Default, rng.New(5))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dev.ReduceSum(xs)
+			}
+		})
+	}
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	g := tensor.ConvGeom{Batch: 8, InC: 8, InH: 8, InW: 8, OutC: 1, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	col := tensor.New(g.ColRows(), g.ColCols())
+	rng.New(6).FillNorm(col.Data(), 0, 1)
+	for _, mode := range []Mode{Default, Deterministic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			dev := New(V100, mode, rng.New(7))
+			dst := tensor.New(8, 8, 8, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst.Zero()
+				dev.Col2Im(col, g, dst)
+			}
+		})
+	}
+}

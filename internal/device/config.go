@@ -1,0 +1,91 @@
+// Package device simulates the accelerators the paper evaluates: NVIDIA
+// GPUs with different CUDA-core counts (P100, V100, RTX5000, T4), the
+// RTX5000's Tensor Cores, and the systolic, single-threaded TPUv2.
+//
+// Simulation model. Real accelerators differ from a CPU in exactly one way
+// that matters to this paper: the order in which floating-point partial
+// sums are combined. GPUs commit thread-block partials in scheduler order
+// (atomicAdd, split-K GEMM), so the order — and therefore the float32
+// rounding — varies run to run. TPUs pump values through a systolic array
+// in a fixed order, so they are deterministic given identical input order.
+// Tensor Cores are systolic tiles for matmul, but every op a Tensor Core
+// cannot run falls back to the nondeterministic CUDA-core path.
+//
+// Each simulated device therefore executes the same arithmetic as the CPU
+// reference, but routes every reduction through internal/accum with an
+// accumulation order drawn from a hardware-entropy stream. Chunk counts
+// scale with the simulated CUDA-core count, so cards with more cores (V100)
+// exhibit more reordering noise — reproducing the paper's Figure 5 finding.
+// In Deterministic mode all orders are fixed, modelling the framework
+// determinism patches (TF_DETERMINISTIC_OPS / cuDNN deterministic algos).
+package device
+
+import "fmt"
+
+// Arch identifies a simulated accelerator micro-architecture.
+type Arch string
+
+// Simulated architectures. The GPU generations matter to the overhead model
+// (internal/profile): deterministic algorithm penalties shrink with newer
+// generations, as the paper measures (P100 >> V100 > T4).
+const (
+	ArchCPU     Arch = "CPU"
+	ArchPascal  Arch = "Pascal"
+	ArchVolta   Arch = "Volta"
+	ArchTuring  Arch = "Turing"
+	ArchTPU     Arch = "TPU"
+	ArchUnknown Arch = ""
+)
+
+// Config describes a simulated part.
+type Config struct {
+	Name        string
+	Arch        Arch
+	CUDACores   int  // 0 for non-GPU devices
+	TensorCores bool // route matmuls through systolic fp16 tiles
+	Systolic    bool // TPU-style fully deterministic execution
+}
+
+// Catalog of the parts evaluated in the paper (core counts from Section 2.2).
+var (
+	CPU       = Config{Name: "CPU", Arch: ArchCPU}
+	P100      = Config{Name: "P100", Arch: ArchPascal, CUDACores: 3584}
+	V100      = Config{Name: "V100", Arch: ArchVolta, CUDACores: 5120}
+	RTX5000   = Config{Name: "RTX5000", Arch: ArchTuring, CUDACores: 3072}
+	RTX5000TC = Config{Name: "RTX5000 TC", Arch: ArchTuring, CUDACores: 3072, TensorCores: true}
+	T4        = Config{Name: "T4", Arch: ArchTuring, CUDACores: 2560}
+	TPUv2     = Config{Name: "TPUv2", Arch: ArchTPU, Systolic: true}
+)
+
+// Catalog lists every simulated part, in the order used by figures.
+var Catalog = []Config{CPU, P100, V100, RTX5000, RTX5000TC, T4, TPUv2}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range Catalog {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("device: unknown device %q", name)
+}
+
+// reorderChunks returns how many scheduler-ordered partial sums a reduction
+// of length n splits into on this part. More CUDA cores mean more thread
+// blocks in flight and therefore more reordering freedom.
+func (c Config) reorderChunks(n int) int {
+	if c.Systolic || c.CUDACores == 0 {
+		return 1
+	}
+	chunks := c.CUDACores / 256 // P100: 14, V100: 20, RTX5000: 12, T4: 10
+	if chunks < 2 {
+		chunks = 2
+	}
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}

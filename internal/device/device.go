@@ -1,0 +1,283 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Mode selects between the framework's default execution (fastest available
+// algorithms, nondeterministic accumulation) and the deterministic patches.
+type Mode int
+
+const (
+	// Default lets the simulated scheduler pick accumulation orders.
+	Default Mode = iota
+	// Deterministic fixes every accumulation order (the software patches the
+	// paper's Section 4 prices out).
+	Deterministic
+)
+
+func (m Mode) String() string {
+	if m == Deterministic {
+		return "deterministic"
+	}
+	return "default"
+}
+
+// Device executes tensor kernels under a simulated accelerator. It is not
+// safe for concurrent use: training replicas each own a Device.
+type Device struct {
+	cfg     Config
+	mode    Mode
+	entropy *rng.Stream
+	kernels int64 // count of kernel launches, for tests/inspection
+}
+
+// New returns a device for the given part. entropy is the hardware-entropy
+// stream used to draw scheduler orders in Default mode; it is ignored (and
+// may be nil) in Deterministic mode or on systolic parts. In the real world
+// this entropy is unobservable scheduler state; the simulation seeds it
+// per-replica so experiments are replayable (see DESIGN.md §5).
+func New(cfg Config, mode Mode, entropy *rng.Stream) *Device {
+	return &Device{cfg: cfg, mode: mode, entropy: entropy}
+}
+
+// Config returns the simulated part.
+func (d *Device) Config() Config { return d.cfg }
+
+// Mode returns the execution mode.
+func (d *Device) Mode() Mode { return d.mode }
+
+// KernelLaunches returns the number of kernels executed so far.
+func (d *Device) KernelLaunches() int64 { return d.kernels }
+
+// nondeterministic reports whether this device perturbs accumulation orders.
+func (d *Device) nondeterministic() bool {
+	return d.mode == Default && !d.cfg.Systolic && d.cfg.CUDACores > 0 && d.entropy != nil
+}
+
+// schedOrder draws a scheduler commit order for n partials, or nil for the
+// fixed ascending order.
+func (d *Device) schedOrder(n int) []int {
+	if n <= 1 || !d.nondeterministic() {
+		return nil
+	}
+	return d.entropy.Perm(n)
+}
+
+// MatMul computes C = op(A) × op(B) where op optionally transposes. A is
+// (m×k) after op, B is (k×n) after op; the result is (m×n).
+//
+// In Default mode on a CUDA-core part, the K dimension is split into
+// scheduler-ordered chunks (split-K GEMM): each output element accumulates
+// its chunk partials in a per-call random order, giving one-ulp-scale
+// rounding differences between runs. On Tensor Cores the matmul runs
+// through deterministic systolic tiles with fp16 input truncation. On TPU
+// and in Deterministic mode the order is fixed.
+func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor {
+	d.kernels++
+	am, ak := matDims(a, transA)
+	bk, bn := matDims(b, transB)
+	if ak != bk {
+		panic(fmt.Sprintf("device: MatMul inner dims mismatch: %d vs %d", ak, bk))
+	}
+	ad := materialize(a, transA)
+	bd := materialize(b, transB)
+
+	if d.cfg.TensorCores {
+		return d.matmulTensorCore(ad, bd, am, ak, bn)
+	}
+
+	out := tensor.New(am, bn)
+	od := out.Data()
+
+	chunks := 1
+	if d.nondeterministic() {
+		chunks = d.cfg.reorderChunks(ak)
+	}
+	order := d.schedOrder(chunks)
+
+	// Blocked ikj matmul: chunk boundaries are fixed; only the order in
+	// which chunk contributions land in C varies.
+	for ci := 0; ci < chunks; ci++ {
+		c := ci
+		if order != nil {
+			c = order[ci]
+		}
+		kLo := c * ak / chunks
+		kHi := (c + 1) * ak / chunks
+		for i := 0; i < am; i++ {
+			arow := ad[i*ak : (i+1)*ak]
+			crow := od[i*bn : (i+1)*bn]
+			for k := kLo; k < kHi; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := bd[k*bn : (k+1)*bn]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matmulTensorCore runs the matmul through simulated systolic fp16 tiles:
+// inputs are truncated to fp16 precision, products accumulate in fp32 in a
+// fixed tile order. Deterministic — the Tensor Core itself does not inject
+// scheduler noise; nondeterminism on TC parts comes from the CUDA-core
+// fallback kernels (bias, scatter, normalization reductions).
+func (d *Device) matmulTensorCore(ad, bd []float32, m, k, n int) *tensor.Tensor {
+	out := tensor.New(m, n)
+	od := out.Data()
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := od[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := fp16Round(arow[kk])
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * fp16Round(bv)
+			}
+		}
+	}
+	return out
+}
+
+func matDims(t *tensor.Tensor, trans bool) (rows, cols int) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("device: MatMul operand must be rank 2, got %v", t.Shape()))
+	}
+	if trans {
+		return t.Dim(1), t.Dim(0)
+	}
+	return t.Dim(0), t.Dim(1)
+}
+
+// materialize returns t's data, transposed into a fresh buffer if needed.
+func materialize(t *tensor.Tensor, trans bool) []float32 {
+	if !trans {
+		return t.Data()
+	}
+	r, c := t.Dim(0), t.Dim(1)
+	src := t.Data()
+	dst := make([]float32, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			dst[j*r+i] = src[i*c+j]
+		}
+	}
+	return dst
+}
+
+// SumRows reduces an (rows × cols) matrix over its columns, producing one
+// float32 per row (bias gradients, per-channel statistics). The reduction
+// runs through scheduler-ordered chunks in Default mode.
+func (d *Device) SumRows(m *tensor.Tensor) []float32 {
+	d.kernels++
+	if m.Rank() != 2 {
+		panic(fmt.Sprintf("device: SumRows requires rank 2, got %v", m.Shape()))
+	}
+	rows, cols := m.Dim(0), m.Dim(1)
+	out := make([]float32, rows)
+	chunks := 1
+	if d.nondeterministic() {
+		chunks = d.cfg.reorderChunks(cols)
+	}
+	data := m.Data()
+	for r := 0; r < rows; r++ {
+		out[r] = d.reduceChunked(data[r*cols:(r+1)*cols], chunks)
+	}
+	return out
+}
+
+// SumCols reduces an (rows × cols) matrix over its rows, producing one
+// float32 per column. The per-column reduction over rows runs through
+// scheduler-ordered chunks in Default mode.
+func (d *Device) SumCols(m *tensor.Tensor) []float32 {
+	d.kernels++
+	if m.Rank() != 2 {
+		panic(fmt.Sprintf("device: SumCols requires rank 2, got %v", m.Shape()))
+	}
+	rows, cols := m.Dim(0), m.Dim(1)
+	out := make([]float32, cols)
+	chunks := 1
+	if d.nondeterministic() {
+		chunks = d.cfg.reorderChunks(rows)
+	}
+	order := d.schedOrder(chunks)
+	data := m.Data()
+	for ci := 0; ci < chunks; ci++ {
+		c := ci
+		if order != nil {
+			c = order[ci]
+		}
+		lo := c * rows / chunks
+		hi := (c + 1) * rows / chunks
+		for r := lo; r < hi; r++ {
+			row := data[r*cols : (r+1)*cols]
+			for j, v := range row {
+				out[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// ReduceSum reduces a vector to a scalar under the device's accumulation
+// policy (loss averaging, squared-sum statistics).
+func (d *Device) ReduceSum(xs []float32) float32 {
+	d.kernels++
+	chunks := 1
+	if d.nondeterministic() {
+		chunks = d.cfg.reorderChunks(len(xs))
+	}
+	return d.reduceChunked(xs, chunks)
+}
+
+func (d *Device) reduceChunked(xs []float32, chunks int) float32 {
+	if chunks <= 1 {
+		var s float32
+		for _, v := range xs {
+			s += v
+		}
+		return s
+	}
+	order := d.schedOrder(chunks)
+	var s float32
+	for ci := 0; ci < chunks; ci++ {
+		c := ci
+		if order != nil {
+			c = order[ci]
+		}
+		lo := c * len(xs) / chunks
+		hi := (c + 1) * len(xs) / chunks
+		var p float32
+		for _, v := range xs[lo:hi] {
+			p += v
+		}
+		s += p
+	}
+	return s
+}
+
+// Col2Im scatters a column matrix back into an image tensor, accumulating
+// overlapping windows — the simulated analogue of cuDNN's atomicAdd-based
+// backward-data kernels. In Default mode the per-kernel-offset scatter
+// order is drawn from the scheduler; overlapping float32 adds then round
+// differently between runs. dst must be zeroed by the caller.
+func (d *Device) Col2Im(col *tensor.Tensor, g tensor.ConvGeom, dst *tensor.Tensor) {
+	d.kernels++
+	var order []int
+	if d.nondeterministic() {
+		order = d.entropy.Perm(g.ColRows())
+	}
+	tensor.Col2ImAccum(col, g, dst, order)
+}

@@ -1,0 +1,58 @@
+package device
+
+import "math"
+
+// fp16Round rounds a float32 to the nearest IEEE-754 half-precision value
+// and returns it widened back to float32. This models a Tensor Core's fp16
+// multiplicand inputs (products accumulate in fp32). Values beyond the fp16
+// range saturate to ±65504; subnormals flush to the nearest representable
+// half-precision subnormal.
+func fp16Round(x float32) float32 {
+	bits := math.Float32bits(x)
+	sign := bits & 0x8000_0000
+	exp := int32(bits>>23&0xff) - 127
+	mant := bits & 0x7f_ffff
+
+	switch {
+	case exp == 128: // Inf or NaN passes through
+		return x
+	case exp > 15: // overflow: saturate to max finite fp16
+		return math.Float32frombits(sign | 0x477f_e000) // ±65504
+	case exp < -24: // underflow to zero
+		return math.Float32frombits(sign)
+	case exp < -14: // subnormal half: quantize mantissa to 2^-24 steps
+		shift := uint(-exp - 1) // bits of mantissa lost beyond fp16 subnormal
+		// Reconstruct with the implicit leading 1, then round to 24-exp bits.
+		full := mant | 0x80_0000
+		drop := shift + 13
+		if drop >= 32 {
+			return math.Float32frombits(sign)
+		}
+		rounded := (full + (1 << (drop - 1))) >> drop << drop
+		if rounded == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Renormalize if rounding carried into a higher exponent.
+		e := exp
+		for rounded >= 0x100_0000 {
+			rounded >>= 1
+			e++
+		}
+		return math.Float32frombits(sign | uint32(e+127)<<23 | rounded&0x7f_ffff)
+	default:
+		// Normal range: keep 10 mantissa bits (round half to even ties-away
+		// approximation: round half up, adequate for a simulation).
+		rounded := mant + 0x1000 // add half of 2^13
+		if rounded >= 0x80_0000 {
+			// Mantissa overflowed into the exponent.
+			exp++
+			rounded = 0
+			if exp > 15 {
+				return math.Float32frombits(sign | 0x477f_e000)
+			}
+		} else {
+			rounded = rounded &^ 0x1fff // clear the 13 dropped bits
+		}
+		return math.Float32frombits(sign | uint32(exp+127)<<23 | rounded)
+	}
+}

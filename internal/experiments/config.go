@@ -1,0 +1,78 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness trains (or profiles) exactly the
+// populations its artifact needs — caching replica populations so that
+// figures sharing a workload (e.g. Figure 1, Figure 4 and Table 2 all use
+// ResNet-18 on V100) train them only once — and renders the same rows or
+// series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/report"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Scale selects dataset size and training length (see data.Scale).
+	Scale data.Scale
+	// Replicas is the number of independently trained models per variant;
+	// 0 picks the scale default (3 / 5 / 10 — the paper uses 10).
+	Replicas int
+	// Seed anchors every experiment's seed policy.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by the CLI: quick scale.
+func DefaultConfig() Config {
+	return Config{Scale: data.ScaleQuick, Seed: 20220622} // arXiv date of the paper
+}
+
+func (c Config) replicas() int {
+	if c.Replicas > 0 {
+		return c.Replicas
+	}
+	switch c.Scale {
+	case data.ScaleTest:
+		return 3
+	case data.ScaleQuick:
+		return 5
+	default:
+		return 10
+	}
+}
+
+// Runner produces the tables for one paper artifact.
+type Runner func(cfg Config) ([]*report.Table, error)
+
+// registry maps experiment IDs (table2, fig5, ...) to runners.
+var registry = map[string]Runner{}
+
+// register wires an experiment ID to its runner at init time.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = r
+}
+
+// Get returns the runner for an experiment ID.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// IDs lists every registered experiment in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+func init() {
+	register("fig1", func(cfg Config) ([]*report.Table, error) {
+		return noiseComparison(cfg, "Figure 1: impact of noise source by task (V100)", device.V100, fig1Tasks)
+	})
+	register("fig9", func(cfg Config) ([]*report.Table, error) {
+		return noiseComparison(cfg, "Figure 9: impact of noise source by task (P100)", device.P100, fig1Tasks[:3])
+	})
+	register("fig10", func(cfg Config) ([]*report.Table, error) {
+		return noiseComparison(cfg, "Figure 10: impact of noise source by task (RTX5000)", device.RTX5000, fig1Tasks[:3])
+	})
+}
+
+// noiseComparison renders the stddev/churn/L2 panels of Figures 1, 9 and 10:
+// each task × variant cell of the grid summarizes an independently trained
+// replica population.
+func noiseComparison(cfg Config, title string, dev device.Config, tasks []taskSpec) ([]*report.Table, error) {
+	tb := report.New(title,
+		"task", "variant", "acc(%)", "stddev(acc)", "churn(%)", "l2")
+	for _, task := range tasks {
+		for _, v := range core.StandardVariants {
+			st, err := stability(cfg, task, dev, v)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddStrings(task.name, v.String(),
+				fmt.Sprintf("%.2f", st.AccMean),
+				fmt.Sprintf("%.3f", st.AccStd),
+				fmt.Sprintf("%.2f", st.Churn),
+				fmt.Sprintf("%.3f", st.L2))
+		}
+	}
+	return []*report.Table{tb}, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+func init() {
+	register("fig2", runFig2)
+	register("fig4", runFig4)
+}
+
+// runFig2 reproduces Figure 2: batch normalization curbs the impact of
+// every noise source on the small CNN.
+func runFig2(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Figure 2: model design (batch norm) amplifies or curbs noise (SmallCNN, CIFAR-10-like, V100)",
+		"batchnorm", "variant", "stddev(acc)", "churn(%)", "l2")
+	for _, task := range []taskSpec{taskSmallCNNC10, taskSmallCNNC10BN} {
+		label := "without"
+		if task.name == taskSmallCNNC10BN.name {
+			label = "with"
+		}
+		for _, v := range core.StandardVariants {
+			st, err := stability(cfg, task, device.V100, v)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddStrings(label, v.String(),
+				fmt.Sprintf("%.3f", st.AccStd),
+				fmt.Sprintf("%.2f", st.Churn),
+				fmt.Sprintf("%.3f", st.L2))
+		}
+	}
+	return []*report.Table{tb}, nil
+}
+
+// runFig4 reproduces Figure 4: per-class accuracy variance versus overall
+// accuracy variance for ResNet-18 on the CIFAR-like datasets.
+func runFig4(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Figure 4: per-class accuracy variance vs overall (ResNet18, V100)",
+		"dataset", "variant", "stddev(acc)", "max per-class stddev", "ratio")
+	for _, task := range []taskSpec{taskResNet18C10, taskResNet18C100} {
+		for _, v := range core.StandardVariants {
+			st, err := stability(cfg, task, device.V100, v)
+			if err != nil {
+				return nil, err
+			}
+			ratio := 0.0
+			if st.AccStd > 0 {
+				ratio = st.MaxPerClassStd / st.AccStd
+			}
+			tb.AddStrings(task.name, v.String(),
+				fmt.Sprintf("%.3f", st.AccStd),
+				fmt.Sprintf("%.3f", st.MaxPerClassStd),
+				fmt.Sprintf("%.1fX", ratio))
+		}
+	}
+	return []*report.Table{tb}, nil
+}

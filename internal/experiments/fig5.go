@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+func init() {
+	register("fig5", runFig5)
+	register("fig6", runFig6)
+}
+
+// runFig5 reproduces Figure 5: ResNet-18 / CIFAR-100-like across the
+// accelerator catalog — CUDA-core GPUs with different core counts, Tensor
+// Cores, and the systolic TPU.
+func runFig5(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Figure 5: stability by accelerator (ResNet18, CIFAR-100-like)",
+		"accelerator", "variant", "stddev(acc)", "churn(%)", "l2")
+	devices := []device.Config{device.P100, device.V100, device.RTX5000, device.RTX5000TC, device.TPUv2}
+	for _, dev := range devices {
+		for _, v := range core.StandardVariants {
+			st, err := stability(cfg, taskResNet18C100, dev, v)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddStrings(dev.Name, v.String(),
+				fmt.Sprintf("%.3f", st.AccStd),
+				fmt.Sprintf("%.2f", st.Churn),
+				fmt.Sprintf("%.3f", st.L2))
+		}
+	}
+	return []*report.Table{tb}, nil
+}
+
+// runFig6 reproduces Figure 6: on the deterministic TPU, varying only the
+// data order still produces predictive divergence at every batch size —
+// including full batch, where all models "should" mathematically agree.
+func runFig6(cfg Config) ([]*report.Table, error) {
+	ds := datasetCached(taskSmallCNNC10.name, cfg.Scale, taskSmallCNNC10.dataset)
+	n := ds.Train.N()
+	batches := []int{n / 15, n / 4, n} // small, medium, full batch
+	tb := report.New("Figure 6: data input order alone breaks determinism on TPU (SmallCNN)",
+		"batch size", "churn(%)", "stddev(acc)")
+	for _, b := range batches {
+		task := taskSmallCNNC10
+		task.name = fmt.Sprintf("%s/batch%d", task.name, b)
+		task.batch = b
+		task.augment = data.Augment{} // no augmentation: isolate pure ordering
+		// Large batches are trained with the same LR, so cool it slightly to
+		// keep every batch size in the stable regime; fixed-epoch budget
+		// across batch sizes (full batch takes one step per epoch, so the
+		// budget is generous for noise to amplify).
+		task.lr = 0.06
+		task.epochs = [3]int{100, 140, 200}
+		results, dsUsed, err := population(cfg, task, device.TPUv2, core.DataOrderOnly)
+		if err != nil {
+			return nil, err
+		}
+		st := core.Summarize(results, dsUsed.Test.Y, dsUsed.Classes)
+		tb.AddStrings(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.2f", st.Churn),
+			fmt.Sprintf("%.3f", st.AccStd))
+	}
+	return []*report.Table{tb}, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+func init() {
+	register("fig7", runFig7)
+	register("fig8a", runFig8a)
+	register("fig8b", runFig8b)
+}
+
+// runFig7 reproduces Figure 7: the top-20 GPU kernels by cumulative time
+// for VGG-19 and InceptionV3 in TF-default versus TF-deterministic mode,
+// showing deterministic mode's skew toward a narrow kernel set.
+func runFig7(cfg Config) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, g := range []*models.Graph{models.VGG19Graph(), models.InceptionV3Graph()} {
+		for _, mode := range []device.Mode{device.Default, device.Deterministic} {
+			p, err := profile.Graph(g, device.ArchVolta, mode, profile.Options{})
+			if err != nil {
+				return nil, err
+			}
+			tb := report.New(
+				fmt.Sprintf("Figure 7: top-20 kernels, %s, TF %s mode (V100, batch %d, %d steps)",
+					g.Name, mode, p.Batch, p.Steps),
+				"kernel", "cumulative time (ms)", "share")
+			for _, k := range p.TopK(20) {
+				tb.AddStrings(k.Name,
+					fmt.Sprintf("%.1f", k.Millis),
+					fmt.Sprintf("%.1f%%", 100*k.Millis/p.Total))
+			}
+			tables = append(tables, tb)
+		}
+	}
+	return tables, nil
+}
+
+// runFig8a reproduces Figure 8a: deterministic-mode GPU time relative to
+// default mode for the ten profiled networks on P100, V100 and T4.
+func runFig8a(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Figure 8a: normalized deterministic execution GPU time across networks",
+		"network", "P100", "V100", "T4")
+	for _, g := range models.Zoo() {
+		cells := []string{g.Name}
+		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
+			ov, err := profile.Overhead(g, arch, profile.Options{})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*ov))
+		}
+		tb.AddStrings(cells...)
+	}
+	return []*report.Table{tb}, nil
+}
+
+// runFig8b reproduces Figure 8b: overhead versus convolution kernel size on
+// the six-layer medium CNN.
+func runFig8b(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Figure 8b: normalized deterministic GPU time vs conv kernel size (medium CNN)",
+		"kernel", "P100", "V100", "T4")
+	for _, k := range []int{1, 3, 5, 7} {
+		g := models.MediumCNNGraph(k)
+		cells := []string{fmt.Sprintf("%d*%d", k, k)}
+		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
+			ov, err := profile.Overhead(g, arch, profile.Options{})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*ov))
+		}
+		tb.AddStrings(cells...)
+	}
+	return []*report.Table{tb}, nil
+}

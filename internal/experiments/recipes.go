@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// taskSpec is a dataset/model training recipe, the reproduction analogue of
+// the paper's Appendix B methodology table. Epochs scale with the
+// experiment scale; learning rates were tuned once so that implementation
+// noise amplifies into measurable divergence while accuracy still
+// converges (see DESIGN.md).
+type taskSpec struct {
+	name    string
+	dataset func(data.Scale) *data.Dataset
+	model   func(classes int) *nn.Sequential
+	epochs  [3]int // indexed by data.Scale
+	batch   int
+	lr      float64
+	decayAt float64 // fraction of epochs after which LR divides by 10
+	augment data.Augment
+}
+
+func (t taskSpec) trainConfig(cfg Config, dev device.Config) (core.TrainConfig, *data.Dataset) {
+	ds := datasetCached(t.name, cfg.Scale, t.dataset)
+	epochs := t.epochs[cfg.Scale]
+	return core.TrainConfig{
+		Model:    func() *nn.Sequential { return t.model(ds.Classes) },
+		Dataset:  ds,
+		Device:   dev,
+		Epochs:   epochs,
+		Batch:    t.batch,
+		Schedule: opt.StepDecay{Base: t.lr, Factor: 10, Every: int(float64(epochs) * t.decayAt)},
+		Momentum: 0.9,
+		Augment:  t.augment,
+		BaseSeed: cfg.Seed,
+	}, ds
+}
+
+// The task table. Names follow the paper's workload labels.
+var (
+	taskSmallCNNC10 = taskSpec{
+		name:    "SmallCNN CIFAR-10",
+		dataset: data.CIFAR10Like,
+		model:   func(k int) *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(k)) },
+		epochs:  [3]int{40, 48, 64},
+		batch:   32, lr: 0.07, decayAt: 0.75,
+		augment: data.Augment{Shift: 1, Flip: true},
+	}
+	taskSmallCNNC10BN = taskSpec{
+		name:    "SmallCNN+BN CIFAR-10",
+		dataset: data.CIFAR10Like,
+		model: func(k int) *nn.Sequential {
+			c := models.DefaultSmallCNN(k)
+			c.BatchNorm = true
+			return models.SmallCNN(c)
+		},
+		epochs: [3]int{40, 48, 64},
+		batch:  32, lr: 0.07, decayAt: 0.75,
+		augment: data.Augment{Shift: 1, Flip: true},
+	}
+	taskResNet18C10 = taskSpec{
+		name:    "ResNet18 CIFAR-10",
+		dataset: data.CIFAR10Like,
+		model:   models.ResNet18,
+		epochs:  [3]int{24, 36, 50},
+		batch:   32, lr: 0.05, decayAt: 0.75,
+		augment: data.Augment{Shift: 1, Flip: true},
+	}
+	taskResNet18C100 = taskSpec{
+		name:    "ResNet18 CIFAR-100",
+		dataset: data.CIFAR100Like,
+		model:   models.ResNet18,
+		epochs:  [3]int{24, 36, 50},
+		batch:   32, lr: 0.05, decayAt: 0.75,
+		augment: data.Augment{Shift: 1, Flip: true},
+	}
+	taskResNet50ImageNet = taskSpec{
+		name:    "ResNet50 ImageNet",
+		dataset: data.ImageNetLike,
+		model:   models.ResNet50,
+		epochs:  [3]int{24, 30, 45},
+		batch:   32, lr: 0.05, decayAt: 0.75,
+		augment: data.Augment{Shift: 1, Flip: true},
+	}
+	// CelebA: no augmentation, shorter schedule (paper Appendix B).
+	taskCelebA = taskSpec{
+		name:    "ResNet18 CelebA",
+		dataset: data.CelebALike,
+		model:   func(int) *nn.Sequential { return models.CelebAResNet18() },
+		epochs:  [3]int{16, 20, 28},
+		batch:   32, lr: 0.05, decayAt: 0.75,
+	}
+)
+
+// fig1Tasks are the four panels of Figure 1 (and Table 2's V100 block).
+var fig1Tasks = []taskSpec{taskSmallCNNC10, taskResNet18C10, taskResNet18C100, taskResNet50ImageNet}
+
+// population caching ---------------------------------------------------------
+
+var (
+	popMu    sync.Mutex
+	popCache = map[string][]*core.RunResult{}
+
+	dsMu    sync.Mutex
+	dsCache = map[string]*data.Dataset{}
+)
+
+func datasetCached(task string, s data.Scale, gen func(data.Scale) *data.Dataset) *data.Dataset {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	key := fmt.Sprintf("%s@%s", task, s)
+	if ds, ok := dsCache[key]; ok {
+		return ds
+	}
+	ds := gen(s)
+	dsCache[key] = ds
+	return ds
+}
+
+// population trains (or fetches from cache) the replica population for one
+// (task, device, variant) cell of an experiment grid.
+func population(cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+	tc, ds := t.trainConfig(cfg, dev)
+	key := fmt.Sprintf("%s|%s|%s|%d|%s|%d", t.name, dev.Name, v, cfg.replicas(), cfg.Scale, cfg.Seed)
+	popMu.Lock()
+	cached, ok := popCache[key]
+	popMu.Unlock()
+	if ok {
+		return cached, ds, nil
+	}
+	results, err := core.RunVariant(tc, v, cfg.replicas())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
+	}
+	popMu.Lock()
+	popCache[key] = results
+	popMu.Unlock()
+	return results, ds, nil
+}
+
+// stability trains a population and summarizes it in one call.
+func stability(cfg Config, t taskSpec, dev device.Config, v core.Variant) (core.Stability, error) {
+	results, ds, err := population(cfg, t, dev, v)
+	if err != nil {
+		return core.Stability{}, err
+	}
+	return core.Summarize(results, ds.Test.Y, ds.Classes), nil
+}
+
+// ResetCache clears the population cache (tests use this to force retrains).
+func ResetCache() {
+	popMu.Lock()
+	popCache = map[string][]*core.RunResult{}
+	popMu.Unlock()
+}

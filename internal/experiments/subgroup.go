@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+func init() {
+	register("table3", runTable3)
+	register("table5", runTable5)
+	register("fig3", runFig3)
+}
+
+// runTable3 reproduces Table 3: the CelebA-like attribute imbalance. No
+// training involved — this documents the dataset property that drives the
+// sub-group variance results.
+func runTable3(cfg Config) ([]*report.Table, error) {
+	ds := datasetCached(taskCelebA.name, cfg.Scale, taskCelebA.dataset)
+	total := float64(ds.Train.N())
+	tb := report.New("Table 3: data point distribution in the CelebA-like dataset (train split)",
+		"group", "positive", "negative")
+	for _, c := range data.CountSubgroups(ds.Train) {
+		tb.AddStrings(c.Group,
+			fmt.Sprintf("%d (%.1f%%)", c.Positive, 100*float64(c.Positive)/total),
+			fmt.Sprintf("%d (%.1f%%)", c.Negative, 100*float64(c.Negative)/total))
+	}
+	return []*report.Table{tb}, nil
+}
+
+// subgroupRows trains the CelebA populations and returns the per-variant
+// sub-group stability rows shared by Table 5 and Figure 3.
+func subgroupRows(cfg Config) (map[core.Variant][]core.SubgroupStability, *data.Dataset, error) {
+	out := map[core.Variant][]core.SubgroupStability{}
+	var ds *data.Dataset
+	for _, v := range core.StandardVariants {
+		results, d, err := population(cfg, taskCelebA, device.V100, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds = d
+		out[v] = core.SummarizeSubgroups(results, d.Test)
+	}
+	return out, ds, nil
+}
+
+// runTable5 reproduces Table 5: stddev of sub-group accuracy, FPR and FNR
+// across replicas, with relative scale against the overall dataset.
+func runTable5(cfg Config) ([]*report.Table, error) {
+	rows, _, err := subgroupRows(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*report.Table
+	for _, metric := range []string{"Accuracy", "FPR", "FNR"} {
+		tb := report.New(fmt.Sprintf("Table 5: STDDEV(%s) by sub-group (ResNet18, CelebA-like, V100)", metric),
+			"subgroup", "ALGO+IMPL", "ALGO", "IMPL")
+		groups := rows[core.AlgoImpl]
+		for gi := range groups {
+			cells := []string{groups[gi].Group}
+			for _, v := range core.StandardVariants {
+				s := rows[v][gi]
+				var std, scale float64
+				switch metric {
+				case "Accuracy":
+					std, scale = s.AccStd, s.AccScale
+				case "FPR":
+					std, scale = s.FPRStd, s.FPRScale
+				default:
+					std, scale = s.FNRStd, s.FNRScale
+				}
+				cells = append(cells, fmt.Sprintf("%.3f (%.2fX)", std, scale))
+			}
+			tb.AddStrings(cells...)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// runFig3 reproduces Figure 3: sub-group stddev normalized against the
+// overall dataset for the default (ALGO+IMPL) setting.
+func runFig3(cfg Config) ([]*report.Table, error) {
+	rows, _, err := subgroupRows(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tb := report.New("Figure 3: normalized sub-group stddev, ALGO+IMPL (ResNet18, CelebA-like, V100)",
+		"subgroup", "norm stddev(acc)", "norm stddev(FPR)", "norm stddev(FNR)")
+	for _, s := range rows[core.AlgoImpl] {
+		if s.Group == "All" {
+			continue
+		}
+		tb.AddStrings(s.Group,
+			fmt.Sprintf("%.2fX", s.AccScale),
+			fmt.Sprintf("%.2fX", s.FPRScale),
+			fmt.Sprintf("%.2fX", s.FNRScale))
+	}
+	return []*report.Table{tb}, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+func init() {
+	register("table2", runTable2)
+	register("table4", runTable4)
+}
+
+// runTable2 reproduces Table 2: test-set accuracy ± stddev under each type
+// of noise, for every hardware/task combination the paper trains.
+func runTable2(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Table 2: test accuracy ± stddev under each noise variant",
+		"hardware", "task", "ALGO+IMPL", "ALGO", "IMPL")
+	type block struct {
+		dev   device.Config
+		tasks []taskSpec
+	}
+	blocks := []block{
+		{device.P100, fig1Tasks[:3]},
+		{device.RTX5000, fig1Tasks[:3]},
+		{device.V100, fig1Tasks}, // V100 adds ResNet50/ImageNet (paper Table 2)
+	}
+	for _, b := range blocks {
+		for _, task := range b.tasks {
+			cells := make([]string, 0, 3)
+			for _, v := range core.StandardVariants {
+				st, err := stability(cfg, task, b.dev, v)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, fmt.Sprintf("%.2f%%±%.2f", st.AccMean, st.AccStd))
+			}
+			tb.AddStrings(b.dev.Name, task.name, cells[0], cells[1], cells[2])
+		}
+	}
+	return []*report.Table{tb}, nil
+}
+
+// runTable4 reproduces Table 4: the dataset overview.
+func runTable4(cfg Config) ([]*report.Table, error) {
+	tb := report.New("Table 4: dataset overview (synthetic stand-ins, see DESIGN.md)",
+		"dataset", "train/test split", "classes")
+	for _, task := range []taskSpec{taskSmallCNNC10, taskResNet18C100, taskResNet50ImageNet, taskCelebA} {
+		ds := datasetCached(task.name, cfg.Scale, task.dataset)
+		tb.AddStrings(ds.Name,
+			fmt.Sprintf("%d/%d", ds.Train.N(), ds.Test.N()),
+			fmt.Sprintf("%d", ds.Classes))
+	}
+	return []*report.Table{tb}, nil
+}

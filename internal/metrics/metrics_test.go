@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestChurnKnownValues(t *testing.T) {
+	if got := Churn([]int{1, 2, 3, 4}, []int{1, 2, 3, 4}); got != 0 {
+		t.Fatalf("identical predictions churn %v", got)
+	}
+	if got := Churn([]int{1, 2, 3, 4}, []int{0, 2, 0, 4}); got != 0.5 {
+		t.Fatalf("churn %v, want 0.5", got)
+	}
+	if got := Churn(nil, nil); got != 0 {
+		t.Fatalf("empty churn %v", got)
+	}
+}
+
+func TestChurnSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := make([]int, 50)
+		b := make([]int, 50)
+		for i := range a {
+			a[i], b[i] = s.Intn(5), s.Intn(5)
+		}
+		return Churn(a, b) == Churn(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChurnMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Churn([]int{1}, []int{1, 2})
+}
+
+func TestPairwiseMeanChurn(t *testing.T) {
+	preds := [][]int{{1, 1}, {1, 0}, {0, 0}}
+	// pairs: (0,1)=0.5 (0,2)=1.0 (1,2)=0.5 → mean 2/3
+	if got := PairwiseMeanChurn(preds); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("pairwise churn %v", got)
+	}
+	if PairwiseMeanChurn(preds[:1]) != 0 {
+		t.Fatal("single-run churn should be 0")
+	}
+}
+
+func TestL2NormalizedProperties(t *testing.T) {
+	a := []float32{1, 0, 0}
+	b := []float32{0, 1, 0}
+	if got := L2Normalized(a, b); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("orthogonal unit vectors: %v, want sqrt2", got)
+	}
+	// Scale invariance: the paper normalizes to unit length first.
+	c := []float32{5, 0, 0}
+	if got := L2Normalized(a, c); got != 0 {
+		t.Fatalf("scaled same-direction distance %v, want 0", got)
+	}
+	// Maximum distance is 2 (antipodal).
+	d := []float32{-1, 0, 0}
+	if got := L2Normalized(a, d); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("antipodal distance %v, want 2", got)
+	}
+}
+
+func TestL2NormalizedSymmetricProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := make([]float32, 20)
+		b := make([]float32, 20)
+		s.FillNorm(a, 0, 1)
+		s.FillNorm(b, 0, 1)
+		x, y := L2Normalized(a, b), L2Normalized(b, a)
+		return math.Abs(x-y) < 1e-12 && x >= 0 && x <= 2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %v", got)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev %v, want 2", got)
+	}
+	if StdDev([]float64{3}) != 0 || StdDev(nil) != 0 {
+		t.Fatal("degenerate stddev should be 0")
+	}
+}
+
+func TestPerClassAccuracy(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2}
+	preds := []int{0, 1, 1, 1, 0}
+	pc := PerClassAccuracy(preds, labels, 4)
+	if pc[0] != 0.5 || pc[1] != 1.0 || pc[2] != 0 {
+		t.Fatalf("per-class accuracy %v", pc)
+	}
+	if !math.IsNaN(pc[3]) {
+		t.Fatal("absent class should be NaN")
+	}
+}
+
+func TestBinaryRates(t *testing.T) {
+	labels := []int{1, 1, 1, 0, 0, 0, 0, 0}
+	preds := []int{1, 0, 0, 0, 0, 0, 1, 1}
+	r := BinaryRatesOn(preds, labels, nil)
+	if r.N != 8 {
+		t.Fatalf("N = %d", r.N)
+	}
+	if math.Abs(r.Accuracy-4.0/8) > 1e-12 {
+		t.Fatalf("accuracy %v", r.Accuracy)
+	}
+	if math.Abs(r.FNR-2.0/3) > 1e-12 {
+		t.Fatalf("FNR %v", r.FNR)
+	}
+	if math.Abs(r.FPR-2.0/5) > 1e-12 {
+		t.Fatalf("FPR %v", r.FPR)
+	}
+}
+
+func TestBinaryRatesSubset(t *testing.T) {
+	labels := []int{1, 0, 1, 0}
+	preds := []int{1, 1, 0, 0}
+	even := func(i int) bool { return i%2 == 0 }
+	r := BinaryRatesOn(preds, labels, even)
+	if r.N != 2 {
+		t.Fatalf("subset N = %d", r.N)
+	}
+	if math.Abs(r.FNR-0.5) > 1e-12 {
+		t.Fatalf("subset FNR %v", r.FNR)
+	}
+	if !math.IsNaN(r.FPR) {
+		t.Fatalf("subset with no negatives should have NaN FPR, got %v", r.FPR)
+	}
+}
+
+func TestBinaryRatesEmptySubset(t *testing.T) {
+	r := BinaryRatesOn([]int{1}, []int{1}, func(int) bool { return false })
+	if r.N != 0 || r.Accuracy != 0 {
+		t.Fatalf("empty subset rates: %+v", r)
+	}
+}
+
+func TestPairwiseMeanL2(t *testing.T) {
+	ws := [][]float32{{1, 0}, {0, 1}, {1, 0}}
+	got := PairwiseMeanL2(ws)
+	want := (math.Sqrt(2) + 0 + math.Sqrt(2)) / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pairwise L2 %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,203 @@
+package models
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpKind classifies a layer for the kernel-time profiler. The profiler only
+// needs to know which cuDNN kernel family a layer dispatches to, because
+// the deterministic-mode penalty differs per family (convolutions pay the
+// most; elementwise kernels pay nothing).
+type OpKind int
+
+// Kernel families.
+const (
+	OpConv OpKind = iota
+	OpDepthwiseConv
+	OpDense
+	OpPool
+	OpBatchNorm
+	OpActivation
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpConv:
+		return "conv"
+	case OpDepthwiseConv:
+		return "dwconv"
+	case OpDense:
+		return "dense"
+	case OpPool:
+		return "pool"
+	case OpBatchNorm:
+		return "batchnorm"
+	case OpActivation:
+		return "activation"
+	}
+	return "unknown"
+}
+
+// LayerSpec describes one layer of a profiled network.
+type LayerSpec struct {
+	Name   string
+	Kind   OpKind
+	Kernel int // filter height for convs (also width when KW is 0)
+	KW     int // filter width for rectangular (factorized) convs; 0 = square
+	InC    int
+	OutC   int
+	H, W   int // input spatial size
+	Stride int
+}
+
+// KernelW returns the filter width (Kernel when square).
+func (l LayerSpec) KernelW() int {
+	if l.KW != 0 {
+		return l.KW
+	}
+	return l.Kernel
+}
+
+// EffKernel returns the effective square-kernel size used by the overhead
+// model: the geometric mean of the filter dimensions, so a factorized 1×7
+// convolution prices like a ~2.6-wide kernel (its reduction footprint)
+// rather than a full 7×7.
+func (l LayerSpec) EffKernel() float64 {
+	return math.Sqrt(float64(l.Kernel * l.KernelW()))
+}
+
+// OutH returns the output height (same-padding convention).
+func (l LayerSpec) OutH() int { return (l.H + l.Stride - 1) / l.Stride }
+
+// OutW returns the output width.
+func (l LayerSpec) OutW() int { return (l.W + l.Stride - 1) / l.Stride }
+
+// FwdFLOPs returns the forward multiply-accumulate count per example.
+func (l LayerSpec) FwdFLOPs() int64 {
+	oh, ow := int64(l.OutH()), int64(l.OutW())
+	switch l.Kind {
+	case OpConv:
+		return 2 * int64(l.InC) * int64(l.OutC) * int64(l.Kernel*l.KernelW()) * oh * ow
+	case OpDepthwiseConv:
+		return 2 * int64(l.InC) * int64(l.Kernel*l.KernelW()) * oh * ow
+	case OpDense:
+		return 2 * int64(l.InC) * int64(l.OutC)
+	case OpPool, OpActivation:
+		return int64(l.InC) * int64(l.H) * int64(l.W)
+	case OpBatchNorm:
+		return 4 * int64(l.InC) * int64(l.H) * int64(l.W)
+	}
+	return 0
+}
+
+// Graph is a static network description used by the overhead profiler.
+type Graph struct {
+	Name   string
+	InC    int
+	InH    int
+	InW    int
+	Layers []LayerSpec
+}
+
+// ConvLayers returns only the convolutional layers (including depthwise).
+func (g *Graph) ConvLayers() []LayerSpec {
+	var out []LayerSpec
+	for _, l := range g.Layers {
+		if l.Kind == OpConv || l.Kind == OpDepthwiseConv {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TotalFwdFLOPs sums forward FLOPs across layers, per example.
+func (g *Graph) TotalFwdFLOPs() int64 {
+	var t int64
+	for _, l := range g.Layers {
+		t += l.FwdFLOPs()
+	}
+	return t
+}
+
+// graphBuilder accumulates layers while tracking the running activation
+// geometry, so the zoo definitions read like the original architectures.
+type graphBuilder struct {
+	g       Graph
+	c, h, w int
+	n       int
+}
+
+func newGraph(name string, c, h, w int) *graphBuilder {
+	return &graphBuilder{g: Graph{Name: name, InC: c, InH: h, InW: w}, c: c, h: h, w: w}
+}
+
+func (b *graphBuilder) conv(out, kernel, stride int) *graphBuilder {
+	return b.convRect(out, kernel, kernel, stride)
+}
+
+func (b *graphBuilder) convRect(out, kh, kw, stride int) *graphBuilder {
+	b.n++
+	b.g.Layers = append(b.g.Layers, LayerSpec{
+		Name: fmt.Sprintf("conv%d_%dx%d", b.n, kh, kw), Kind: OpConv,
+		Kernel: kh, KW: kw, InC: b.c, OutC: out, H: b.h, W: b.w, Stride: stride,
+	})
+	b.c = out
+	b.h = (b.h + stride - 1) / stride
+	b.w = (b.w + stride - 1) / stride
+	return b
+}
+
+func (b *graphBuilder) dwconv(kernel, stride int) *graphBuilder {
+	b.n++
+	b.g.Layers = append(b.g.Layers, LayerSpec{
+		Name: fmt.Sprintf("dwconv%d_%dx%d", b.n, kernel, kernel), Kind: OpDepthwiseConv,
+		Kernel: kernel, InC: b.c, OutC: b.c, H: b.h, W: b.w, Stride: stride,
+	})
+	b.h = (b.h + stride - 1) / stride
+	b.w = (b.w + stride - 1) / stride
+	return b
+}
+
+func (b *graphBuilder) bn() *graphBuilder {
+	b.n++
+	b.g.Layers = append(b.g.Layers, LayerSpec{
+		Name: fmt.Sprintf("bn%d", b.n), Kind: OpBatchNorm,
+		InC: b.c, OutC: b.c, H: b.h, W: b.w, Stride: 1,
+	})
+	return b
+}
+
+func (b *graphBuilder) act() *graphBuilder {
+	b.n++
+	b.g.Layers = append(b.g.Layers, LayerSpec{
+		Name: fmt.Sprintf("act%d", b.n), Kind: OpActivation,
+		InC: b.c, OutC: b.c, H: b.h, W: b.w, Stride: 1,
+	})
+	return b
+}
+
+func (b *graphBuilder) pool(stride int) *graphBuilder {
+	b.n++
+	b.g.Layers = append(b.g.Layers, LayerSpec{
+		Name: fmt.Sprintf("pool%d", b.n), Kind: OpPool,
+		InC: b.c, OutC: b.c, H: b.h, W: b.w, Stride: stride,
+	})
+	b.h = (b.h + stride - 1) / stride
+	b.w = (b.w + stride - 1) / stride
+	return b
+}
+
+func (b *graphBuilder) dense(out int) *graphBuilder {
+	b.n++
+	in := b.c * b.h * b.w
+	b.g.Layers = append(b.g.Layers, LayerSpec{
+		Name: fmt.Sprintf("dense%d", b.n), Kind: OpDense,
+		InC: in, OutC: out, H: 1, W: 1, Stride: 1,
+	})
+	b.c, b.h, b.w = out, 1, 1
+	return b
+}
+
+func (b *graphBuilder) build() *Graph { return &b.g }

@@ -1,0 +1,246 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func dev() *device.Device { return device.New(device.CPU, device.Deterministic, nil) }
+
+func forwardShape(t *testing.T, net *nn.Sequential, classes int) {
+	t.Helper()
+	net.Init(rng.New(1))
+	x := tensor.New(2, 3, 8, 8)
+	rng.New(2).FillNorm(x.Data(), 0, 1)
+	y := net.Forward(dev(), x, true)
+	if y.Rank() != 2 || y.Dim(0) != 2 || y.Dim(1) != classes {
+		t.Fatalf("%s output shape %v, want (2,%d)", net.Name(), y.Shape(), classes)
+	}
+	// And a full backward pass must run without panicking.
+	_, dl := nn.SoftmaxCrossEntropy(dev(), y, make([]int, 2))
+	net.Backward(dev(), dl)
+}
+
+func TestSmallCNNForwardBackward(t *testing.T) {
+	forwardShape(t, SmallCNN(DefaultSmallCNN(10)), 10)
+}
+
+func TestSmallCNNWithBN(t *testing.T) {
+	cfg := DefaultSmallCNN(10)
+	cfg.BatchNorm = true
+	net := SmallCNN(cfg)
+	forwardShape(t, net, 10)
+	hasBN := false
+	for _, l := range net.Layers() {
+		if _, ok := l.(*nn.BatchNorm); ok {
+			hasBN = true
+		}
+	}
+	if !hasBN {
+		t.Fatal("BatchNorm config did not add BN layers")
+	}
+}
+
+func TestSmallCNNDefaultHasNoBN(t *testing.T) {
+	net := SmallCNN(DefaultSmallCNN(10))
+	for _, l := range net.Layers() {
+		if _, ok := l.(*nn.BatchNorm); ok {
+			t.Fatal("default small CNN must not contain BatchNorm (paper Appendix C)")
+		}
+	}
+}
+
+func TestMediumCNNKernelSizes(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 7} {
+		net := MediumCNN(k, 10)
+		forwardShape(t, net, 10)
+		for _, l := range net.Layers() {
+			if c, ok := l.(*nn.Conv2D); ok && c.Kernel() != k {
+				t.Fatalf("kernel %d: conv has kernel %d", k, c.Kernel())
+			}
+		}
+	}
+}
+
+func TestMediumCNNInvalidKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kernel 4 did not panic")
+		}
+	}()
+	MediumCNN(4, 10)
+}
+
+func TestResNet18ForwardBackward(t *testing.T) {
+	forwardShape(t, ResNet18(10), 10)
+}
+
+func TestResNet18HundredClasses(t *testing.T) {
+	forwardShape(t, ResNet18(100), 100)
+}
+
+func TestResNet50ForwardBackward(t *testing.T) {
+	forwardShape(t, ResNet50(20), 20)
+}
+
+func TestCelebAResNet18(t *testing.T) {
+	forwardShape(t, CelebAResNet18(), 2)
+}
+
+func TestModelsTrainable(t *testing.T) {
+	// One SGD step must reduce loss on a tiny overfit batch for each model.
+	for _, build := range []func() *nn.Sequential{
+		func() *nn.Sequential { return SmallCNN(DefaultSmallCNN(4)) },
+		func() *nn.Sequential { return ResNet18(4) },
+	} {
+		net := build()
+		net.Init(rng.New(3))
+		d := dev()
+		x := tensor.New(8, 3, 8, 8)
+		rng.New(4).FillNorm(x.Data(), 0, 1)
+		labels := []int{0, 1, 2, 3, 0, 1, 2, 3}
+		var first, last float64
+		for step := 0; step < 30; step++ {
+			net.ZeroGrad()
+			logits := net.Forward(d, x.Clone(), true)
+			loss, dl := nn.SoftmaxCrossEntropy(d, logits, labels)
+			if step == 0 {
+				first = loss
+			}
+			last = loss
+			net.Backward(d, dl)
+			for _, p := range net.Params() {
+				p.Value.AddScaled(-0.05, p.Grad)
+			}
+		}
+		if last > first*0.9 {
+			t.Errorf("%s: loss did not decrease (%.4f -> %.4f)", net.Name(), first, last)
+		}
+	}
+}
+
+func TestZooGraphsSane(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 10 {
+		t.Fatalf("zoo has %d networks, want 10", len(zoo))
+	}
+	for _, g := range zoo {
+		if len(g.Layers) == 0 {
+			t.Fatalf("%s has no layers", g.Name)
+		}
+		if len(g.ConvLayers()) == 0 {
+			t.Fatalf("%s has no conv layers", g.Name)
+		}
+		if g.TotalFwdFLOPs() <= 0 {
+			t.Fatalf("%s has non-positive FLOPs", g.Name)
+		}
+		for _, l := range g.Layers {
+			if l.InC <= 0 || l.OutC <= 0 || l.H <= 0 || l.W <= 0 || l.Stride <= 0 {
+				t.Fatalf("%s layer %s has degenerate geometry: %+v", g.Name, l.Name, l)
+			}
+			if (l.Kind == OpConv || l.Kind == OpDepthwiseConv) && l.Kernel <= 0 {
+				t.Fatalf("%s conv layer %s missing kernel", g.Name, l.Name)
+			}
+		}
+	}
+}
+
+func TestZooRelativeFLOPsOrdering(t *testing.T) {
+	// Published relationships that the cost model depends on:
+	// VGG19 > VGG16, ResNet152 > ResNet50, DenseNet201 > DenseNet121,
+	// and MobileNet is the lightest of the zoo.
+	flops := map[string]int64{}
+	for _, g := range Zoo() {
+		flops[g.Name] = g.TotalFwdFLOPs()
+	}
+	pairs := [][2]string{
+		{"VGG19", "VGG16"},
+		{"ResNet152", "ResNet50"},
+		{"DenseNet201", "DenseNet121"},
+	}
+	for _, p := range pairs {
+		if flops[p[0]] <= flops[p[1]] {
+			t.Errorf("%s (%d) should exceed %s (%d)", p[0], flops[p[0]], p[1], flops[p[1]])
+		}
+	}
+	// The two mobile-class networks are far lighter than everything else.
+	for name, f := range flops {
+		if name == "MobileNet" || name == "EfficientNetB0" {
+			if f > 2e9 {
+				t.Errorf("%s FLOPs %d; mobile-class nets should be < 2 GFLOPs", name, f)
+			}
+			continue
+		}
+		if f <= flops["MobileNet"] {
+			t.Errorf("%s (%d) should exceed MobileNet (%d)", name, f, flops["MobileNet"])
+		}
+	}
+	// VGG16 is ~15.5 GFLOPs/image in the literature; accept a broad band to
+	// confirm the right order of magnitude.
+	if v := flops["VGG16"]; v < 10e9 || v > 40e9 {
+		t.Errorf("VGG16 FLOPs %d outside plausible band", v)
+	}
+	// MobileNet is ~1.1 GFLOPs (2×0.57 GMACs).
+	if v := flops["MobileNet"]; v < 0.5e9 || v > 3e9 {
+		t.Errorf("MobileNet FLOPs %d outside plausible band", v)
+	}
+}
+
+func TestVGGKernelMix(t *testing.T) {
+	// VGG is all 3×3 — the property that gives it the largest deterministic
+	// overhead in Figure 8a.
+	for _, l := range VGG19Graph().ConvLayers() {
+		if l.Kernel != 3 {
+			t.Fatalf("VGG19 conv with kernel %d", l.Kernel)
+		}
+	}
+}
+
+func TestMobileNetMostlyPointwise(t *testing.T) {
+	var pointwise, other int64
+	for _, l := range MobileNetGraph().ConvLayers() {
+		if l.Kind == OpConv && l.Kernel == 1 {
+			pointwise += l.FwdFLOPs()
+		} else {
+			other += l.FwdFLOPs()
+		}
+	}
+	if pointwise < 2*other {
+		t.Fatalf("MobileNet FLOPs should be dominated by 1x1 convs: 1x1=%d other=%d", pointwise, other)
+	}
+}
+
+func TestMediumCNNGraphKernels(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 7} {
+		g := MediumCNNGraph(k)
+		convs := g.ConvLayers()
+		if len(convs) != 6 {
+			t.Fatalf("medium CNN graph has %d convs, want 6", len(convs))
+		}
+		for _, l := range convs {
+			if l.Kernel != k {
+				t.Fatalf("graph kernel %d, want %d", l.Kernel, k)
+			}
+		}
+		if !strings.Contains(g.Name, "MediumCNN") {
+			t.Fatalf("graph name %q", g.Name)
+		}
+	}
+}
+
+func TestLayerSpecFLOPs(t *testing.T) {
+	l := LayerSpec{Kind: OpConv, Kernel: 3, InC: 2, OutC: 4, H: 8, W: 8, Stride: 2}
+	// out 4x4, 2*2*4*9*16 = 2304
+	if got := l.FwdFLOPs(); got != 2304 {
+		t.Fatalf("conv FLOPs %d, want 2304", got)
+	}
+	d := LayerSpec{Kind: OpDense, InC: 10, OutC: 5, H: 1, W: 1, Stride: 1}
+	if got := d.FwdFLOPs(); got != 100 {
+		t.Fatalf("dense FLOPs %d, want 100", got)
+	}
+}

@@ -1,0 +1,246 @@
+package models
+
+import "fmt"
+
+// The model zoo: layer graphs of the ten networks the paper profiles on
+// ImageNet-shaped inputs (3×224×224, Section 4). Graphs carry the data the
+// overhead model needs — kernel families, filter sizes, channel counts and
+// spatial extents — following each architecture's published configuration.
+// Branching topologies (DenseNet concatenation, Inception branches) are
+// linearized: the profiler only consumes the multiset of kernels, not the
+// dataflow.
+
+// VGG16Graph returns the VGG-16 layer graph (Simonyan & Zisserman 2015).
+func VGG16Graph() *Graph { return vggGraph("VGG16", []int{2, 2, 3, 3, 3}) }
+
+// VGG19Graph returns the VGG-19 layer graph.
+func VGG19Graph() *Graph { return vggGraph("VGG19", []int{2, 2, 4, 4, 4}) }
+
+func vggGraph(name string, reps []int) *Graph {
+	b := newGraph(name, 3, 224, 224)
+	widths := []int{64, 128, 256, 512, 512}
+	for stage, n := range reps {
+		for i := 0; i < n; i++ {
+			b.conv(widths[stage], 3, 1).act()
+		}
+		b.pool(2)
+	}
+	b.dense(4096).act().dense(4096).act().dense(1000)
+	return b.build()
+}
+
+// ResNet50Graph returns the ResNet-50 layer graph (He et al. 2016).
+func ResNet50Graph() *Graph { return resnetGraph("ResNet50", []int{3, 4, 6, 3}) }
+
+// ResNet152Graph returns the ResNet-152 layer graph.
+func ResNet152Graph() *Graph { return resnetGraph("ResNet152", []int{3, 8, 36, 3}) }
+
+func resnetGraph(name string, reps []int) *Graph {
+	b := newGraph(name, 3, 224, 224)
+	b.conv(64, 7, 2).bn().act().pool(2)
+	mids := []int{64, 128, 256, 512}
+	for stage, n := range reps {
+		mid := mids[stage]
+		out := 4 * mid
+		for i := 0; i < n; i++ {
+			stride := 1
+			if i == 0 && stage > 0 {
+				stride = 2
+			}
+			if i == 0 {
+				// Projection shortcut.
+				saveC, saveH, saveW := b.c, b.h, b.w
+				b.conv(out, 1, stride)
+				b.c, b.h, b.w = saveC, saveH, saveW
+			}
+			b.conv(mid, 1, 1).bn().act()
+			b.conv(mid, 3, stride).bn().act()
+			b.conv(out, 1, 1).bn().act()
+		}
+	}
+	b.pool(7).dense(1000)
+	return b.build()
+}
+
+// DenseNet121Graph returns the DenseNet-121 layer graph (Huang et al. 2017).
+func DenseNet121Graph() *Graph { return denseNetGraph("DenseNet121", []int{6, 12, 24, 16}) }
+
+// DenseNet201Graph returns the DenseNet-201 layer graph.
+func DenseNet201Graph() *Graph { return denseNetGraph("DenseNet201", []int{6, 12, 48, 32}) }
+
+func denseNetGraph(name string, reps []int) *Graph {
+	const growth = 32
+	b := newGraph(name, 3, 224, 224)
+	b.conv(64, 7, 2).bn().act().pool(2)
+	channels := 64
+	for stage, n := range reps {
+		for i := 0; i < n; i++ {
+			// Dense layer: BN-ReLU-1x1(4k)-BN-ReLU-3x3(k) on concatenated input.
+			b.c = channels + i*growth
+			b.bn().act().conv(4*growth, 1, 1).bn().act().conv(growth, 3, 1)
+		}
+		channels += n * growth
+		if stage < len(reps)-1 {
+			// Transition: 1x1 halving conv + 2x2 pool.
+			b.c = channels
+			channels /= 2
+			b.bn().conv(channels, 1, 1).pool(2)
+		}
+	}
+	b.c = channels
+	b.pool(7).dense(1000)
+	return b.build()
+}
+
+// InceptionV3Graph returns an InceptionV3 layer graph (Szegedy et al. 2015),
+// linearized: branch kernels are emitted sequentially per block.
+func InceptionV3Graph() *Graph {
+	b := newGraph("InceptionV3", 3, 299, 299)
+	b.conv(32, 3, 2).bn().act()
+	b.conv(32, 3, 1).bn().act()
+	b.conv(64, 3, 1).bn().act().pool(2)
+	b.conv(80, 1, 1).bn().act()
+	b.conv(192, 3, 1).bn().act().pool(2)
+	// 3× inception-A at 35×35 (branches: 1x1, 5x5 via 1x1, double 3x3, pool-proj).
+	b.h, b.w = 35, 35
+	for i := 0; i < 3; i++ {
+		b.c = 288
+		b.conv(64, 1, 1)
+		b.c = 288
+		b.conv(48, 1, 1).conv(64, 5, 1)
+		b.c = 288
+		b.conv(64, 1, 1).conv(96, 3, 1).conv(96, 3, 1)
+		b.c = 288
+		b.conv(64, 1, 1)
+	}
+	// Reduction-A then 4× inception-B at 17×17 with factorized 1×7 / 7×1
+	// convolutions (rectangular kernels, as in the original).
+	b.c, b.h, b.w = 288, 17, 17
+	b.conv(384, 3, 2)
+	b.h, b.w = 17, 17
+	for i := 0; i < 4; i++ {
+		b.c = 768
+		b.conv(192, 1, 1)
+		b.c = 768
+		b.conv(128, 1, 1).convRect(128, 1, 7, 1).convRect(192, 7, 1, 1)
+		b.c = 768
+		b.conv(192, 1, 1)
+	}
+	// Reduction-B then 2× inception-C at 8×8.
+	b.c, b.h, b.w = 768, 8, 8
+	b.conv(320, 3, 2)
+	b.h, b.w = 8, 8
+	for i := 0; i < 2; i++ {
+		b.c = 1280
+		b.conv(320, 1, 1)
+		b.c = 1280
+		b.conv(384, 1, 1).conv(384, 3, 1)
+		b.c = 1280
+		b.conv(448, 1, 1).conv(384, 3, 1)
+		b.c = 1280
+		b.conv(192, 1, 1)
+	}
+	b.c, b.h, b.w = 2048, 8, 8
+	b.pool(8).dense(1000)
+	return b.build()
+}
+
+// XceptionGraph returns an Xception layer graph (depthwise-separable stacks).
+func XceptionGraph() *Graph {
+	b := newGraph("Xception", 3, 299, 299)
+	b.conv(32, 3, 2).bn().act().conv(64, 3, 1).bn().act()
+	widths := []int{128, 256, 728}
+	for _, w := range widths {
+		b.dwconv(3, 1).conv(w, 1, 1).bn().act()
+		b.dwconv(3, 1).conv(w, 1, 1).bn().pool(2)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 3; j++ {
+			b.act().dwconv(3, 1).conv(728, 1, 1).bn()
+		}
+	}
+	b.dwconv(3, 1).conv(728, 1, 1).bn().act()
+	b.dwconv(3, 1).conv(1024, 1, 1).bn().pool(2)
+	b.dwconv(3, 1).conv(1536, 1, 1).bn().act()
+	b.dwconv(3, 1).conv(2048, 1, 1).bn().act()
+	b.pool(10).dense(1000)
+	return b.build()
+}
+
+// MobileNetGraph returns the MobileNetV1 layer graph (Howard et al. 2017):
+// a stack of depthwise-separable convolutions dominated by 1×1 kernels,
+// which is why it shows the smallest deterministic overhead in Figure 8a.
+func MobileNetGraph() *Graph {
+	b := newGraph("MobileNet", 3, 224, 224)
+	b.conv(32, 3, 2).bn().act()
+	type ds struct{ out, stride int }
+	cfg := []ds{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for _, l := range cfg {
+		b.dwconv(3, l.stride).bn().act().conv(l.out, 1, 1).bn().act()
+	}
+	b.pool(7).dense(1000)
+	return b.build()
+}
+
+// EfficientNetB0Graph returns the EfficientNet-B0 layer graph (Tan & Le
+// 2020): MBConv blocks with expansion, depthwise 3×3/5×5 kernels.
+func EfficientNetB0Graph() *Graph {
+	b := newGraph("EfficientNetB0", 3, 224, 224)
+	b.conv(32, 3, 2).bn().act()
+	type mb struct{ expand, out, kernel, stride, reps int }
+	cfg := []mb{
+		{1, 16, 3, 1, 1},
+		{6, 24, 3, 2, 2},
+		{6, 40, 5, 2, 2},
+		{6, 80, 3, 2, 3},
+		{6, 112, 5, 1, 3},
+		{6, 192, 5, 2, 4},
+		{6, 320, 3, 1, 1},
+	}
+	for _, blk := range cfg {
+		for i := 0; i < blk.reps; i++ {
+			stride := 1
+			if i == 0 {
+				stride = blk.stride
+			}
+			inC := b.c
+			if blk.expand != 1 {
+				b.conv(inC*blk.expand, 1, 1).bn().act()
+			}
+			b.dwconv(blk.kernel, stride).bn().act()
+			b.conv(blk.out, 1, 1).bn()
+		}
+	}
+	b.conv(1280, 1, 1).bn().act().pool(7).dense(1000)
+	return b.build()
+}
+
+// MediumCNNGraph returns the six-layer medium CNN at the paper's profiling
+// geometry (224×224 input, Figure 8b) with the given kernel size.
+func MediumCNNGraph(kernel int) *Graph {
+	if kernel != 1 && kernel != 3 && kernel != 5 && kernel != 7 {
+		panic(fmt.Sprintf("models: MediumCNNGraph kernel must be 1/3/5/7, got %d", kernel))
+	}
+	b := newGraph(fmt.Sprintf("MediumCNN-%dx%d", kernel, kernel), 3, 224, 224)
+	widths := []int{16, 32, 64, 128, 256, 512}
+	for _, w := range widths {
+		b.conv(w, kernel, 1).bn().act().pool(2)
+	}
+	b.dense(1000)
+	return b.build()
+}
+
+// Zoo returns the ten profiled networks in the order of Figure 8a.
+func Zoo() []*Graph {
+	return []*Graph{
+		VGG16Graph(), VGG19Graph(),
+		ResNet50Graph(), ResNet152Graph(),
+		DenseNet121Graph(), DenseNet201Graph(),
+		InceptionV3Graph(), XceptionGraph(),
+		MobileNetGraph(), EfficientNetB0Graph(),
+	}
+}

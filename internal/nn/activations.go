@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise. Elementwise ops involve no reductions
+// and are order-insensitive, so they run identically on every device.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU builds a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Init implements Layer.
+func (r *ReLU) Init(*rng.Stream) {}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	if cap(r.mask) < len(d) {
+		r.mask = make([]bool, len(d))
+	}
+	r.mask = r.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	d := dx.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return dx
+}
+
+// Dropout zeroes activations with probability Rate during training and
+// scales survivors by 1/(1-Rate) (inverted dropout). The mask stream is an
+// algorithmic noise source: it is split off the init stream, so a fixed
+// seed policy (IMPL/CONTROL variants) makes dropout reproducible.
+type Dropout struct {
+	name   string
+	rate   float64
+	stream *rng.Stream
+	mask   []float32
+}
+
+// NewDropout builds a dropout layer with the given drop rate in [0, 1).
+func NewDropout(name string, rate float64) *Dropout {
+	return &Dropout{name: name, rate: rate}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Init captures the stochastic mask stream.
+func (d *Dropout) Init(stream *rng.Stream) { d.stream = stream.Split("mask") }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.rate == 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	data := out.Data()
+	if cap(d.mask) < len(data) {
+		d.mask = make([]float32, len(data))
+	}
+	d.mask = d.mask[:len(data)]
+	keep := float32(1 / (1 - d.rate))
+	for i := range data {
+		if d.stream.Bernoulli(d.rate) {
+			d.mask[i] = 0
+			data[i] = 0
+		} else {
+			d.mask[i] = keep
+			data[i] *= keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dy
+	}
+	dx := dy.Clone()
+	data := dx.Data()
+	for i := range data {
+		data[i] *= d.mask[i]
+	}
+	return dx
+}

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution in NCHW layout, lowered to GEMM via im2col —
+// the same lowering cuDNN's implicit-GEMM algorithms use. The weight is
+// stored as (OutC, InC*KH*KW); bias is per output channel.
+type Conv2D struct {
+	name                string
+	inC, outC           int
+	kh, kw, stride, pad int
+	W, B                *Param
+	lastCol             *tensor.Tensor  // cached im2col matrix
+	lastGeom            tensor.ConvGeom // geometry of the last forward
+	haveForward         bool
+}
+
+// NewConv2D builds a convolution layer. kernel is the (square) filter size.
+func NewConv2D(name string, inC, outC, kernel, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		name: name, inC: inC, outC: outC,
+		kh: kernel, kw: kernel, stride: stride, pad: pad,
+	}
+	c.W = newParam(name+"/W", outC, inC*kernel*kernel)
+	c.B = newParam(name+"/b", outC)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Init uses He initialization (the network's nonlinearity is ReLU).
+func (c *Conv2D) Init(stream *rng.Stream) {
+	fanIn := c.inC * c.kh * c.kw
+	stream.Split("W").HeNormal(c.W.Value.Data(), fanIn)
+	c.B.Value.Zero()
+}
+
+// Kernel returns the filter size (square).
+func (c *Conv2D) Kernel() int { return c.kh }
+
+// OutChannels returns the number of output channels.
+func (c *Conv2D) OutChannels() int { return c.outC }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: Conv2D %s input must be NCHW, got %v", c.name, x.Shape()))
+	}
+	g := tensor.ConvGeom{
+		Batch: x.Dim(0), InC: c.inC, InH: x.Dim(2), InW: x.Dim(3),
+		OutC: c.outC, KH: c.kh, KW: c.kw, Stride: c.stride, Pad: c.pad,
+	}
+	if x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.inC, x.Dim(1)))
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	col := tensor.New(g.ColRows(), g.ColCols())
+	tensor.Im2Col(x, g, col)
+	// yMat: (OutC, N*OH*OW)
+	yMat := dev.MatMul(c.W.Value, col, false, false)
+	addBiasRows(yMat, c.B.Value.Data())
+
+	c.lastCol, c.lastGeom, c.haveForward = col, g, true
+	return matToNCHW(yMat, g)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	if !c.haveForward {
+		panic(fmt.Sprintf("nn: Conv2D %s Backward before Forward", c.name))
+	}
+	g := c.lastGeom
+	dyMat := nchwToMat(dy, g) // (OutC, N*OH*OW)
+
+	// dW = dyMat × col^T; dB = row sums of dyMat.
+	dW := dev.MatMul(dyMat, c.lastCol, false, true)
+	c.W.Grad.Add(dW)
+	db := dev.SumRows(dyMat)
+	bg := c.B.Grad.Data()
+	for i, v := range db {
+		bg[i] += v
+	}
+
+	// dcol = W^T × dyMat, then scatter back to image space (atomicAdd sim).
+	dcol := dev.MatMul(c.W.Value, dyMat, true, false)
+	dx := tensor.New(g.Batch, g.InC, g.InH, g.InW)
+	dev.Col2Im(dcol, g, dx)
+	c.haveForward = false
+	return dx
+}
+
+// addBiasRows adds bias[r] to every element of row r.
+func addBiasRows(m *tensor.Tensor, bias []float32) {
+	rows, cols := m.Dim(0), m.Dim(1)
+	d := m.Data()
+	for r := 0; r < rows; r++ {
+		b := bias[r]
+		row := d[r*cols : (r+1)*cols]
+		for i := range row {
+			row[i] += b
+		}
+	}
+}
+
+// matToNCHW reorders a (OutC, N*OH*OW) GEMM output into (N, OutC, OH, OW).
+func matToNCHW(m *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	hw := outH * outW
+	out := tensor.New(g.Batch, g.OutC, outH, outW)
+	md, od := m.Data(), out.Data()
+	for c := 0; c < g.OutC; c++ {
+		for n := 0; n < g.Batch; n++ {
+			src := md[(c*g.Batch+n)*hw : (c*g.Batch+n+1)*hw]
+			dst := od[(n*g.OutC+c)*hw : (n*g.OutC+c+1)*hw]
+			copy(dst, src)
+		}
+	}
+	return out
+}
+
+// nchwToMat reorders (N, OutC, OH, OW) gradients into GEMM layout
+// (OutC, N*OH*OW).
+func nchwToMat(t *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	hw := outH * outW
+	out := tensor.New(g.OutC, g.Batch*hw)
+	td, od := t.Data(), out.Data()
+	for n := 0; n < g.Batch; n++ {
+		for c := 0; c < g.OutC; c++ {
+			src := td[(n*g.OutC+c)*hw : (n*g.OutC+c+1)*hw]
+			dst := od[(c*g.Batch+n)*hw : (c*g.Batch+n+1)*hw]
+			copy(dst, src)
+		}
+	}
+	return out
+}

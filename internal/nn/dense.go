@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape (Out, In).
+type Dense struct {
+	name    string
+	in, out int
+	W, B    *Param
+	lastX   *tensor.Tensor
+}
+
+// NewDense builds a fully connected layer.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{
+		name: name, in: in, out: out,
+		W: newParam(name+"/W", out, in),
+		B: newParam(name+"/b", out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Init uses Glorot uniform initialization (dense heads in the paper's small
+// CNNs follow the TF default).
+func (d *Dense) Init(stream *rng.Stream) {
+	stream.Split("W").GlorotUniform(d.W.Value.Data(), d.in, d.out)
+	d.B.Value.Zero()
+}
+
+// Forward implements Layer. x must be (N, In).
+func (d *Dense) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.in {
+		panic(fmt.Sprintf("nn: Dense %s input must be (N, %d), got %v", d.name, d.in, x.Shape()))
+	}
+	d.lastX = x
+	y := dev.MatMul(x, d.W.Value, false, true) // (N, Out)
+	yd := y.Data()
+	bd := d.B.Value.Data()
+	n := y.Dim(0)
+	for r := 0; r < n; r++ {
+		row := yd[r*d.out : (r+1)*d.out]
+		for i := range row {
+			row[i] += bd[i]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic(fmt.Sprintf("nn: Dense %s Backward before Forward", d.name))
+	}
+	// dW = dyᵀ × x, dB = column sums of dy, dx = dy × W.
+	dW := dev.MatMul(dy, d.lastX, true, false)
+	d.W.Grad.Add(dW)
+	db := dev.SumCols(dy)
+	bg := d.B.Grad.Data()
+	for i, v := range db {
+		bg[i] += v
+	}
+	dx := dev.MatMul(dy, d.W.Value, false, false)
+	d.lastX = nil
+	return dx
+}
+
+// Flatten reshapes (N, ...) to (N, prod(rest)). It has no parameters.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Init implements Layer.
+func (f *Flatten) Init(*rng.Stream) {}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = append(f.lastShape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.lastShape...)
+}

@@ -1,0 +1,143 @@
+// Package nn implements the neural-network layers, losses and containers
+// used by every experiment in the repository: 2-D convolution (via
+// im2col/GEMM, the same lowering cuDNN uses), dense layers, ReLU, max and
+// global-average pooling, batch normalization, dropout, and softmax
+// cross-entropy.
+//
+// Every reduction on the training path — GEMMs, bias gradients,
+// normalization statistics, the col2im scatter in the convolution backward
+// pass, loss averaging — is routed through a device.Device so that the
+// simulated accelerator controls floating-point accumulation order. That is
+// the hook the paper's IMPL noise flows through.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a parameter and matching gradient.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs; Backward consumes the cached state, accumulates parameter
+// gradients, and returns the gradient with respect to the layer input.
+// Layers are stateful and owned by exactly one training replica.
+type Layer interface {
+	// Name identifies the layer instance (used to derive init streams).
+	Name() string
+	// Forward computes the layer output. train selects training behaviour
+	// (batch statistics, active dropout).
+	Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes input gradients from output gradients.
+	Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (may be empty).
+	Params() []*Param
+	// Init initializes parameters and stochastic state from the stream.
+	Init(stream *rng.Stream)
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential builds a named layer chain.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Name returns the network name.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers exposes the chain (read-only use expected).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(dev, x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		dy = s.layers[i].Backward(dev, dy)
+	}
+	return dy
+}
+
+// Params collects every trainable parameter in chain order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Init initializes every layer from sub-streams split off the given stream,
+// keyed by layer name, so initialization is independent of layer order and
+// of how many draws other layers consume.
+func (s *Sequential) Init(stream *rng.Stream) {
+	seen := map[string]bool{}
+	for _, l := range s.layers {
+		if seen[l.Name()] {
+			panic(fmt.Sprintf("nn: duplicate layer name %q; init streams would collide", l.Name()))
+		}
+		seen[l.Name()] = true
+		l.Init(stream.Split(l.Name()))
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// WeightVector flattens all parameter values into one new slice, in
+// deterministic chain order. Used by the stability metrics (L2 distance).
+func (s *Sequential) WeightVector() []float32 {
+	var n int
+	ps := s.Params()
+	for _, p := range ps {
+		n += p.Value.Len()
+	}
+	out := make([]float32, 0, n)
+	for _, p := range ps {
+		out = append(out, p.Value.Data()...)
+	}
+	return out
+}
+
+// NumParams returns the total trainable parameter count.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MaxPool2D performs non-overlapping max pooling with a square window.
+// Max is order-insensitive (ties resolve to the first index scanned), so
+// pooling is deterministic on every device.
+type MaxPool2D struct {
+	name      string
+	window    int
+	lastShape []int
+	argmax    []int // flat input index of each output element's max
+}
+
+// NewMaxPool2D builds a max-pooling layer with window size = stride = w.
+func NewMaxPool2D(name string, w int) *MaxPool2D {
+	if w < 1 {
+		panic("nn: MaxPool2D window must be >= 1")
+	}
+	return &MaxPool2D{name: name, window: w}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Init implements Layer.
+func (p *MaxPool2D) Init(*rng.Stream) {}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D %s input must be NCHW, got %v", p.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%p.window != 0 || w%p.window != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D %s input %dx%d not divisible by window %d", p.name, h, w, p.window))
+	}
+	oh, ow := h/p.window, w/p.window
+	out := tensor.New(n, c, oh, ow)
+	p.lastShape = append(p.lastShape[:0], x.Shape()...)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+
+	xd, od := x.Data(), out.Data()
+	for nc := 0; nc < n*c; nc++ {
+		inBase := nc * h * w
+		outBase := nc * oh * ow
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				bestIdx := inBase + (i*p.window)*w + j*p.window
+				best := xd[bestIdx]
+				for di := 0; di < p.window; di++ {
+					rowBase := inBase + (i*p.window+di)*w + j*p.window
+					for dj := 0; dj < p.window; dj++ {
+						if v := xd[rowBase+dj]; v > best {
+							best, bestIdx = v, rowBase+dj
+						}
+					}
+				}
+				od[outBase+i*ow+j] = best
+				p.argmax[outBase+i*ow+j] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.lastShape...)
+	dxd, dyd := dx.Data(), dy.Data()
+	for i, src := range p.argmax {
+		dxd[src] += dyd[i]
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel over its spatial extent, producing
+// (N, C). The spatial reduction runs through the device so accumulation
+// order noise applies.
+type GlobalAvgPool struct {
+	name      string
+	lastShape []int
+}
+
+// NewGlobalAvgPool builds a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// Init implements Layer.
+func (p *GlobalAvgPool) Init(*rng.Stream) {}
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool %s input must be NCHW, got %v", p.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.lastShape = append(p.lastShape[:0], x.Shape()...)
+	// (N*C, H*W) view shares storage; SumRows reduces each channel map.
+	sums := dev.SumRows(x.Reshape(n*c, h*w))
+	out := tensor.New(n, c)
+	od := out.Data()
+	inv := 1 / float32(h*w)
+	for i, s := range sums {
+		od[i] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	dx := tensor.New(n, c, h, w)
+	dxd, dyd := dx.Data(), dy.Data()
+	inv := 1 / float32(h*w)
+	for nc := 0; nc < n*c; nc++ {
+		g := dyd[nc] * inv
+		base := nc * h * w
+		for i := 0; i < h*w; i++ {
+			dxd[base+i] = g
+		}
+	}
+	return dx
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Residual implements a ResNet block: out = ReLU(body(x) + shortcut(x)).
+// The shortcut is identity when nil, otherwise a projection (1×1 conv,
+// optionally followed by BN) that matches the body's output shape.
+type Residual struct {
+	name     string
+	body     *Sequential
+	shortcut *Sequential // nil means identity
+	mask     []bool
+}
+
+// NewResidual builds a residual block. shortcut may be nil for identity.
+func NewResidual(name string, body *Sequential, shortcut *Sequential) *Residual {
+	return &Residual{name: name, body: body, shortcut: shortcut}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.body.Params()
+	if r.shortcut != nil {
+		ps = append(ps, r.shortcut.Params()...)
+	}
+	return ps
+}
+
+// Init initializes the body and shortcut from label-derived sub-streams.
+func (r *Residual) Init(stream *rng.Stream) {
+	r.body.Init(stream.Split("body"))
+	if r.shortcut != nil {
+		r.shortcut.Init(stream.Split("shortcut"))
+	}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := r.body.Forward(dev, x, train)
+	short := x
+	if r.shortcut != nil {
+		short = r.shortcut.Forward(dev, x, train)
+	}
+	main.Add(short)
+	// Final ReLU with mask for backward.
+	d := main.Data()
+	if cap(r.mask) < len(d) {
+		r.mask = make([]bool, len(d))
+	}
+	r.mask = r.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return main
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
+	dsum := dy.Clone()
+	d := dsum.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	dxMain := r.body.Backward(dev, dsum)
+	if r.shortcut != nil {
+		dxShort := r.shortcut.Backward(dev, dsum)
+		dxMain.Add(dxShort)
+	} else {
+		dxMain.Add(dsum)
+	}
+	return dxMain
+}

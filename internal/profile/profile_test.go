@@ -1,0 +1,226 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/models"
+)
+
+var figArchs = []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring}
+
+func mustOverhead(t *testing.T, g *models.Graph, a device.Arch) float64 {
+	t.Helper()
+	ov, err := Overhead(g, a, Options{})
+	if err != nil {
+		t.Fatalf("Overhead(%s, %s): %v", g.Name, a, err)
+	}
+	return ov
+}
+
+func TestOverheadMonotoneInKernelSize(t *testing.T) {
+	// Paper, Fig 8b: "larger kernel size always comes with larger overhead".
+	for _, a := range figArchs {
+		prev := 0.0
+		for _, k := range []int{1, 3, 5, 7} {
+			ov := mustOverhead(t, models.MediumCNNGraph(k), a)
+			if ov <= prev {
+				t.Errorf("%s: overhead not monotone at k=%d: %.3f <= %.3f", a, k, ov, prev)
+			}
+			prev = ov
+		}
+	}
+}
+
+func TestOverheadEnvelopeMatchesPaper(t *testing.T) {
+	// Fig 8b envelopes: P100 284–746 %, V100 129–241 %, T4 117–196 %.
+	// The model is calibrated to land within ~15 % of each endpoint.
+	cases := []struct {
+		arch     device.Arch
+		min, max float64
+	}{
+		{device.ArchPascal, 2.84, 7.46},
+		{device.ArchVolta, 1.29, 2.41},
+		{device.ArchTuring, 1.17, 1.96},
+	}
+	for _, c := range cases {
+		lo := mustOverhead(t, models.MediumCNNGraph(1), c.arch)
+		hi := mustOverhead(t, models.MediumCNNGraph(7), c.arch)
+		if lo < c.min*0.85 || lo > c.min*1.15 {
+			t.Errorf("%s k=1 overhead %.2f outside ±15%% of paper %.2f", c.arch, lo, c.min)
+		}
+		if hi < c.max*0.85 || hi > c.max*1.15 {
+			t.Errorf("%s k=7 overhead %.2f outside ±15%% of paper %.2f", c.arch, hi, c.max)
+		}
+	}
+}
+
+func TestOverheadArchitectureOrdering(t *testing.T) {
+	// Pascal pays the most for determinism at every kernel size; the newer
+	// generations are cheaper (paper Section 4).
+	for _, k := range []int{3, 5, 7} {
+		g := models.MediumCNNGraph(k)
+		p := mustOverhead(t, g, device.ArchPascal)
+		v := mustOverhead(t, g, device.ArchVolta)
+		u := mustOverhead(t, g, device.ArchTuring)
+		if !(p > v && p > u) {
+			t.Errorf("k=%d: Pascal (%.2f) must exceed Volta (%.2f) and Turing (%.2f)", k, p, v, u)
+		}
+	}
+}
+
+func TestZooVGGHighestMobileNetLowest(t *testing.T) {
+	// Fig 8a: VGG-19 has the largest overhead of the ten profiled networks;
+	// MobileNet is essentially free (~101 %).
+	for _, a := range figArchs {
+		ovs := map[string]float64{}
+		for _, g := range models.Zoo() {
+			ovs[g.Name] = mustOverhead(t, g, a)
+		}
+		for name, ov := range ovs {
+			if name != "VGG19" && name != "VGG16" && ov > ovs["VGG19"]+1e-9 {
+				t.Errorf("%s: %s overhead %.3f exceeds VGG19 %.3f", a, name, ov, ovs["VGG19"])
+			}
+		}
+		if ovs["MobileNet"] > 1.10 {
+			t.Errorf("%s: MobileNet overhead %.3f, paper finds ~1.01", a, ovs["MobileNet"])
+		}
+		if ovs["MobileNet"] < 1.0 {
+			t.Errorf("%s: MobileNet overhead %.3f below 1", a, ovs["MobileNet"])
+		}
+	}
+}
+
+func TestZooVoltaVGG19NearPaperValue(t *testing.T) {
+	// Paper: VGG-19 at 185 % relative GPU time on V100.
+	ov := mustOverhead(t, models.VGG19Graph(), device.ArchVolta)
+	if ov < 1.65 || ov > 2.05 {
+		t.Errorf("VGG19 on V100 overhead %.3f, paper 1.85", ov)
+	}
+}
+
+func TestDeterministicNeverFaster(t *testing.T) {
+	for _, g := range models.Zoo() {
+		for _, a := range figArchs {
+			if ov := mustOverhead(t, g, a); ov < 1 {
+				t.Errorf("%s on %s: deterministic faster than default (%.3f)", g.Name, a, ov)
+			}
+		}
+	}
+}
+
+func TestProfileKernelsSortedAndTotalConsistent(t *testing.T) {
+	p, err := Graph(models.VGG19Graph(), device.ArchVolta, device.Default, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, k := range p.Kernels {
+		sum += k.Millis
+		if i > 0 && k.Millis > p.Kernels[i-1].Millis {
+			t.Fatal("kernels not sorted by descending time")
+		}
+		if k.Millis <= 0 {
+			t.Fatalf("kernel %s has non-positive time", k.Name)
+		}
+	}
+	if diff := sum - p.Total; diff > 1e-6*p.Total || diff < -1e-6*p.Total {
+		t.Fatalf("kernel sum %.3f != total %.3f", sum, p.Total)
+	}
+}
+
+func TestDeterministicModeNarrowsKernelSet(t *testing.T) {
+	// Fig 7: deterministic mode concentrates time in a narrower set of
+	// kernels (everything funnels into implicit GEMM).
+	for _, g := range []*models.Graph{models.VGG19Graph(), models.InceptionV3Graph()} {
+		def, err := Graph(g, device.ArchVolta, device.Default, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := Graph(g, device.ArchVolta, device.Deterministic, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Time concentrates: the top kernel's share of total time must not
+		// shrink under determinism (the "more skewed allocation" of Fig 7).
+		defShare := def.Kernels[0].Millis / def.Total
+		detShare := det.Kernels[0].Millis / det.Total
+		if detShare < defShare {
+			t.Errorf("%s: top-kernel share fell under determinism: %.3f -> %.3f", g.Name, defShare, detShare)
+		}
+		if len(det.Kernels) > len(def.Kernels) {
+			t.Errorf("%s: deterministic mode has MORE kernel families (%d > %d)",
+				g.Name, len(det.Kernels), len(def.Kernels))
+		}
+		found := false
+		for _, k := range det.Kernels {
+			if strings.HasPrefix(k.Name, "implicit_gemm") {
+				found = true
+			}
+			if strings.HasPrefix(k.Name, "winograd") || strings.HasPrefix(k.Name, "fft") {
+				t.Errorf("%s: nondeterministic kernel %s in deterministic profile", g.Name, k.Name)
+			}
+		}
+		if !found {
+			t.Errorf("%s: no implicit_gemm kernels in deterministic profile", g.Name)
+		}
+	}
+}
+
+func TestDefaultModeUsesFastAlgorithms(t *testing.T) {
+	def, err := Graph(models.VGG19Graph(), device.ArchVolta, device.Default, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasWinograd := false
+	for _, k := range def.Kernels {
+		if strings.HasPrefix(k.Name, "winograd") {
+			hasWinograd = true
+		}
+	}
+	if !hasWinograd {
+		t.Fatal("VGG (all 3x3) default profile should dispatch Winograd kernels")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	p, err := Graph(models.InceptionV3Graph(), device.ArchVolta, device.Default, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopK(5)
+	if len(top) != 5 {
+		t.Fatalf("TopK(5) returned %d", len(top))
+	}
+	if big := p.TopK(10000); len(big) != len(p.Kernels) {
+		t.Fatalf("TopK beyond length returned %d of %d", len(big), len(p.Kernels))
+	}
+}
+
+func TestUnknownArchErrors(t *testing.T) {
+	if _, err := Graph(models.VGG16Graph(), device.ArchTPU, device.Default, Options{}); err == nil {
+		t.Fatal("profiling an unmodeled architecture did not error")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Batch != 64 || o.Steps != 100 {
+		t.Fatalf("defaults %+v, want batch 64 steps 100 (paper Section 4)", o)
+	}
+	o2 := Options{Batch: 8, Steps: 2}.withDefaults()
+	if o2.Batch != 8 || o2.Steps != 2 {
+		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestBatchScalesLinearly(t *testing.T) {
+	g := models.ResNet50Graph()
+	a, _ := Graph(g, device.ArchVolta, device.Default, Options{Batch: 32})
+	b, _ := Graph(g, device.ArchVolta, device.Default, Options{Batch: 64})
+	ratio := b.Total / a.Total
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("doubling batch scaled time by %.3f, want 2.0", ratio)
+	}
+}

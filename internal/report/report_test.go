@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Add("short", 1.5)
+	tb.Add("a-much-longer-name", 22.25)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line: %q", lines[1])
+	}
+	// Columns align: "value" header starts at the same offset as 1.500.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1.500") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(3.14159)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Fatalf("float not formatted to 3 places: %s", tb.String())
+	}
+}
+
+func TestRenderTSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.Add("x", 1)
+	var b strings.Builder
+	if err := tb.RenderTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\nx\t1\n"
+	if b.String() != want {
+		t.Fatalf("TSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestAddStrings(t *testing.T) {
+	tb := New("", "a")
+	tb.AddStrings("pre-formatted")
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "pre-formatted" {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	tb := New("", "h")
+	tb.Add("v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title produced leading newline")
+	}
+}

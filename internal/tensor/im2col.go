@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution in NCHW layout.
+type ConvGeom struct {
+	Batch    int // N
+	InC      int // input channels
+	InH, InW int // input spatial size
+	OutC     int // output channels
+	KH, KW   int // kernel size
+	Stride   int
+	Pad      int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// ColRows returns the im2col matrix row count: InC*KH*KW.
+func (g ConvGeom) ColRows() int { return g.InC * g.KH * g.KW }
+
+// ColCols returns the im2col matrix column count: N*OutH*OutW.
+func (g ConvGeom) ColCols() int { return g.Batch * g.OutH() * g.OutW() }
+
+// Validate reports an error if the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	if g.Batch <= 0 || g.InC <= 0 || g.OutC <= 0 {
+		return fmt.Errorf("tensor: conv geometry with non-positive counts: %+v", g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("tensor: conv stride must be positive, got %d", g.Stride)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv output empty for %+v", g)
+	}
+	return nil
+}
+
+// Im2Col expands input (N, C, H, W) into a (C*KH*KW, N*OutH*OutW) matrix so
+// convolution becomes a single matmul: W(OutC, C*KH*KW) × col. Padding
+// contributes zeros. The expansion itself involves no reductions, so it is
+// deterministic regardless of device mode.
+func Im2Col(in *Tensor, g ConvGeom, dst *Tensor) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	id := in.Data()
+	dd := dst.Data()
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				base := row * cols
+				for n := 0; n < g.Batch; n++ {
+					inBase := (n*g.InC + c) * g.InH * g.InW
+					for oh := 0; oh < outH; oh++ {
+						ih := oh*g.Stride + kh - g.Pad
+						dstBase := base + (n*outH+oh)*outW
+						if ih < 0 || ih >= g.InH {
+							for ow := 0; ow < outW; ow++ {
+								dd[dstBase+ow] = 0
+							}
+							continue
+						}
+						rowBase := inBase + ih*g.InW
+						for ow := 0; ow < outW; ow++ {
+							iw := ow*g.Stride + kw - g.Pad
+							if iw < 0 || iw >= g.InW {
+								dd[dstBase+ow] = 0
+							} else {
+								dd[dstBase+ow] = id[rowBase+iw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2ImAccum scatters a (C*KH*KW, N*OutH*OutW) column matrix back into an
+// image tensor (N, C, H, W), accumulating overlapping contributions in a
+// fixed sequential order. The device layer decides whether to perturb the
+// accumulation ordering (simulating atomicAdd) before calling this.
+func Col2ImAccum(col *Tensor, g ConvGeom, dst *Tensor, rowOrder []int) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	cd := col.Data()
+	dd := dst.Data()
+	rows := g.ColRows()
+	for ri := 0; ri < rows; ri++ {
+		row := ri
+		if rowOrder != nil {
+			row = rowOrder[ri]
+		}
+		kw := row % g.KW
+		kh := (row / g.KW) % g.KH
+		c := row / (g.KW * g.KH)
+		base := row * cols
+		for n := 0; n < g.Batch; n++ {
+			outBase := (n*g.InC + c) * g.InH * g.InW
+			for oh := 0; oh < outH; oh++ {
+				ih := oh*g.Stride + kh - g.Pad
+				if ih < 0 || ih >= g.InH {
+					continue
+				}
+				srcBase := base + (n*outH+oh)*outW
+				dstRow := outBase + ih*g.InW
+				for ow := 0; ow < outW; ow++ {
+					iw := ow*g.Stride + kw - g.Pad
+					if iw < 0 || iw >= g.InW {
+						continue
+					}
+					dd[dstRow+iw] += cd[srcBase+ow]
+				}
+			}
+		}
+	}
+}

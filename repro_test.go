@@ -1,0 +1,38 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 15 {
+		t.Fatalf("Experiments() lists %d artifacts, want 15 (4 tables + 11 figures)", len(ids))
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	cfg := Config{Scale: data.ScaleTest, Replicas: 2, Seed: 1}
+	tables, err := RunExperiment("table4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("table4 facade result: %+v", tables)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", QuickConfig()); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestQuickConfigDefaults(t *testing.T) {
+	cfg := QuickConfig()
+	if cfg.Scale != data.ScaleQuick {
+		t.Fatalf("QuickConfig scale %v", cfg.Scale)
+	}
+}

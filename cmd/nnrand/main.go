@@ -14,6 +14,7 @@
 //	-scale    test|quick|full   workload scale (default quick)
 //	-replicas N                 replicas per variant (default: scale-dependent)
 //	-seed     N                 base seed for all seed policies
+//	-workers  N                 worker pool size (default: GOMAXPROCS)
 //	-tsv                        emit tab-separated values instead of tables
 package main
 
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func run(args []string) error {
 	scaleFlag := fs.String("scale", "quick", "workload scale: test, quick or full")
 	replicas := fs.Int("replicas", 0, "replicas per variant (0 = scale default)")
 	seed := fs.Uint64("seed", 20220622, "base seed for all seed policies")
+	workers := fs.Int("workers", 0, "worker pool size for replica/grid parallelism (0 = GOMAXPROCS)")
 	tsv := fs.Bool("tsv", false, "emit tab-separated values")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: nnrand [flags] <experiment>... | all | list\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
@@ -63,6 +66,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q (test, quick or full)", *scaleFlag)
 	}
+	sched.SetWorkers(*workers)
 	cfg := experiments.Config{Scale: scale, Replicas: *replicas, Seed: *seed}
 
 	ids := fs.Args()

@@ -45,6 +45,49 @@ func BenchmarkTrainingStep(b *testing.B) {
 	}
 }
 
+// BenchmarkRunVariantParallel measures a full population train (4 replicas
+// of the small CNN) through the sched worker pool, against the sequential
+// baseline below. On >= 4 cores the parallel path should approach a 4×
+// speedup; outputs are bit-identical either way (TestRunVariantParallelBitIdentical).
+func BenchmarkRunVariantParallel(b *testing.B) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	tc := variantBenchConfig(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunVariant(tc, AlgoImpl, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunVariantSequential is the same population trained one replica
+// at a time, the pre-parallel-engine behaviour.
+func BenchmarkRunVariantSequential(b *testing.B) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	tc := variantBenchConfig(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 4; r++ {
+			if _, err := RunReplica(tc, AlgoImpl, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func variantBenchConfig(ds *data.Dataset) TrainConfig {
+	return TrainConfig{
+		Model:    func() *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(ds.Classes)) },
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   1,
+		Batch:    32,
+		Schedule: opt.Constant(0.01),
+		Momentum: 0.9,
+		BaseSeed: 1,
+	}
+}
+
 // BenchmarkReplicaResNet18 measures a one-epoch ResNet-18 replica, the unit
 // of work behind every population in the figure harnesses.
 func BenchmarkReplicaResNet18(b *testing.B) {

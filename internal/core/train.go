@@ -8,6 +8,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // TrainConfig describes one dataset/model/hardware training recipe.
@@ -19,11 +20,14 @@ type TrainConfig struct {
 	Dataset *data.Dataset
 	// Device is the simulated accelerator to train on.
 	Device device.Config
-	// Epochs, Batch, Schedule, Momentum define the optimization recipe.
-	Epochs   int
-	Batch    int
-	Schedule opt.Schedule
-	Momentum float64
+	// Epochs, Batch, Schedule, Momentum, WeightDecay define the
+	// optimization recipe. WeightDecay of zero (the default) disables L2
+	// regularization.
+	Epochs      int
+	Batch       int
+	Schedule    opt.Schedule
+	Momentum    float64
+	WeightDecay float64
 	// Augment configures stochastic input augmentation.
 	Augment data.Augment
 	// BaseSeed anchors every seed policy; two configs with the same BaseSeed
@@ -95,7 +99,7 @@ func RunReplica(cfg TrainConfig, v Variant, replica int) (*RunResult, error) {
 	net.Init(initS)
 	dev := device.New(cfg.Device, mode, entropy)
 	loader := data.NewLoader(cfg.Dataset, cfg.Dataset.Train, cfg.Batch, cfg.Augment)
-	sgd := opt.NewSGD(cfg.Momentum, 0)
+	sgd := opt.NewSGD(cfg.Momentum, cfg.WeightDecay)
 
 	res := &RunResult{Variant: v, Replica: replica}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -137,18 +141,20 @@ func Predict(net *nn.Sequential, dev *device.Device, d *data.Dataset, sp *data.S
 	return preds
 }
 
-// RunVariant trains `replicas` independent replicas under the variant.
+// RunVariant trains `replicas` independent replicas under the variant,
+// distributing them over the sched worker pool. Replicas are independent by
+// construction — each derives its own seed policy from (BaseSeed, variant,
+// replica index) via SeedsFor and owns its network, optimizer and simulated
+// device — so the parallel schedule is bit-identical to a sequential loop.
 func RunVariant(cfg TrainConfig, v Variant, replicas int) ([]*RunResult, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("core: need at least one replica, got %d", replicas)
 	}
-	out := make([]*RunResult, replicas)
-	for r := 0; r < replicas; r++ {
+	return sched.Map(replicas, func(r int) (*RunResult, error) {
 		res, err := RunReplica(cfg, v, r)
 		if err != nil {
 			return nil, fmt.Errorf("core: variant %s replica %d: %w", v, r, err)
 		}
-		out[r] = res
-	}
-	return out, nil
+		return res, nil
+	})
 }

@@ -33,6 +33,11 @@ type Device struct {
 	mode    Mode
 	entropy *rng.Stream
 	kernels int64 // count of kernel launches, for tests/inspection
+
+	// Pack scratch, reused across kernel launches so the per-step transposes
+	// (Dense forward packs Wᵀ, conv backward packs colᵀ) and the Tensor-Core
+	// fp16 pre-rounding stop allocating fresh buffers every call.
+	packA, packB, packFP16 []float32
 }
 
 // New returns a device for the given part. entropy is the hardware-entropy
@@ -83,8 +88,8 @@ func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 	if ak != bk {
 		panic(fmt.Sprintf("device: MatMul inner dims mismatch: %d vs %d", ak, bk))
 	}
-	ad := materialize(a, transA)
-	bd := materialize(b, transB)
+	ad := d.materialize(a, transA, &d.packA)
+	bd := d.materialize(b, transB, &d.packB)
 
 	if d.cfg.TensorCores {
 		return d.matmulTensorCore(ad, bd, am, ak, bn)
@@ -100,7 +105,9 @@ func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 	order := d.schedOrder(chunks)
 
 	// Blocked ikj matmul: chunk boundaries are fixed; only the order in
-	// which chunk contributions land in C varies.
+	// which chunk contributions land in C varies. The inner loop is the
+	// register-blocked AXPY kernel — same per-element operation sequence as
+	// the scalar loop, so outputs stay bit-identical (see gemm.go).
 	for ci := 0; ci < chunks; ci++ {
 		c := ci
 		if order != nil {
@@ -114,12 +121,11 @@ func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 			for k := kLo; k < kHi; k++ {
 				av := arow[k]
 				if av == 0 {
+					// Skipping an exact-zero multiplier is the reference
+					// kernel's behaviour too; keep it for bit-identity.
 					continue
 				}
-				brow := bd[k*bn : (k+1)*bn]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+				axpy(av, bd[k*bn:(k+1)*bn], crow)
 			}
 		}
 	}
@@ -134,6 +140,15 @@ func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 func (d *Device) matmulTensorCore(ad, bd []float32, m, k, n int) *tensor.Tensor {
 	out := tensor.New(m, n)
 	od := out.Data()
+	// Pack-once fp16 truncation of B: the reference kernel re-rounds every
+	// B element for each of the m output rows; rounding is a pure function
+	// of the element, so pre-rounding the k×n operand once produces the
+	// same multiplicands (and therefore identical products) at 1/m the
+	// rounding work.
+	bh := scratch(&d.packFP16, k*n)
+	for i, v := range bd[:k*n] {
+		bh[i] = fp16Round(v)
+	}
 	for i := 0; i < m; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := od[i*n : (i+1)*n]
@@ -142,10 +157,7 @@ func (d *Device) matmulTensorCore(ad, bd []float32, m, k, n int) *tensor.Tensor 
 			if av == 0 {
 				continue
 			}
-			brow := bd[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * fp16Round(bv)
-			}
+			axpy(av, bh[kk*n:(kk+1)*n], crow)
 		}
 	}
 	return out
@@ -161,19 +173,16 @@ func matDims(t *tensor.Tensor, trans bool) (rows, cols int) {
 	return t.Dim(0), t.Dim(1)
 }
 
-// materialize returns t's data, transposed into a fresh buffer if needed.
-func materialize(t *tensor.Tensor, trans bool) []float32 {
+// materialize returns t's data, transposed into the given device-owned
+// scratch buffer when op requires it. The buffer is reused across kernel
+// launches — packing cost stays, allocation churn goes.
+func (d *Device) materialize(t *tensor.Tensor, trans bool, buf *[]float32) []float32 {
 	if !trans {
 		return t.Data()
 	}
 	r, c := t.Dim(0), t.Dim(1)
-	src := t.Data()
-	dst := make([]float32, r*c)
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			dst[j*r+i] = src[i*c+j]
-		}
-	}
+	dst := scratch(buf, r*c)
+	transposeInto(dst, t.Data(), r, c)
 	return dst
 }
 
@@ -222,10 +231,7 @@ func (d *Device) SumCols(m *tensor.Tensor) []float32 {
 		lo := c * rows / chunks
 		hi := (c + 1) * rows / chunks
 		for r := lo; r < hi; r++ {
-			row := data[r*cols : (r+1)*cols]
-			for j, v := range row {
-				out[j] += v
-			}
+			vadd(data[r*cols:(r+1)*cols], out)
 		}
 	}
 	return out

@@ -1,0 +1,82 @@
+package device
+
+// GEMM hot-path support: operand packing into device-owned scratch buffers
+// and the register-blocked AXPY inner kernel.
+//
+// The accumulation-order semantics of MatMul are the subject of the paper,
+// so every transformation here is restricted to ones that cannot change a
+// single output bit: packing rewrites *where* operand bytes live, never
+// which values multiply; the unrolled kernels update each output element
+// with exactly the same sequence of float32 operations as the scalar loop
+// (Go rounds every float32 operation individually on amd64; the unroll only
+// removes bounds checks and loop overhead). The regression tests in
+// gemm_test.go pin bit-identity against the straightforward reference
+// kernels for every part in the catalog.
+
+// scratch grows a device-owned buffer to n elements, reusing the existing
+// allocation when possible. Contents are unspecified; callers overwrite.
+func scratch(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
+}
+
+// transposeInto writes the transpose of src (r×c, row-major) into dst
+// (c×r), walking 32×32 tiles so both source reads and destination writes
+// stay cache-resident for the large, skinny operands conv layers produce.
+func transposeInto(dst, src []float32, r, c int) {
+	const tile = 32
+	for i0 := 0; i0 < r; i0 += tile {
+		iMax := i0 + tile
+		if iMax > r {
+			iMax = r
+		}
+		for j0 := 0; j0 < c; j0 += tile {
+			jMax := j0 + tile
+			if jMax > c {
+				jMax = c
+			}
+			for i := i0; i < iMax; i++ {
+				row := src[i*c : i*c+c]
+				for j := j0; j < jMax; j++ {
+					dst[j*r+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// axpy computes y[j] += a*x[j] for every j. The 4-way unroll with the
+// up-front length clamp hoists bounds checks out of the loop body; each
+// y[j] still receives exactly one fused-free multiply-add per call, in
+// index order, so results are bit-identical to the scalar loop.
+func axpy(a float32, x, y []float32) {
+	x = x[:len(y)] // hoist bounds checks: the compiler now knows both lengths
+	j := 0
+	for ; j+3 < len(y); j += 4 {
+		y[j] += a * x[j]
+		y[j+1] += a * x[j+1]
+		y[j+2] += a * x[j+2]
+		y[j+3] += a * x[j+3]
+	}
+	for ; j < len(y); j++ {
+		y[j] += a * x[j]
+	}
+}
+
+// vadd computes y[j] += x[j] for every j, with the same unroll/bounds-check
+// treatment as axpy. Used by the column-sum reduction.
+func vadd(x, y []float32) {
+	x = x[:len(y)]
+	j := 0
+	for ; j+3 < len(y); j += 4 {
+		y[j] += x[j]
+		y[j+1] += x[j+1]
+		y[j+2] += x[j+2]
+		y[j+3] += x[j+3]
+	}
+	for ; j < len(y); j++ {
+		y[j] += x[j]
+	}
+}

@@ -22,22 +22,28 @@ func init() {
 
 // noiseComparison renders the stddev/churn/L2 panels of Figures 1, 9 and 10:
 // each task × variant cell of the grid summarizes an independently trained
-// replica population.
+// replica population. Cells train concurrently on the sched pool; rows are
+// emitted in grid order regardless of completion order.
 func noiseComparison(cfg Config, title string, dev device.Config, tasks []taskSpec) ([]*report.Table, error) {
 	tb := report.New(title,
 		"task", "variant", "acc(%)", "stddev(acc)", "churn(%)", "l2")
+	var cells []gridCell
 	for _, task := range tasks {
 		for _, v := range core.StandardVariants {
-			st, err := stability(cfg, task, dev, v)
-			if err != nil {
-				return nil, err
-			}
-			tb.AddStrings(task.name, v.String(),
-				fmt.Sprintf("%.2f", st.AccMean),
-				fmt.Sprintf("%.3f", st.AccStd),
-				fmt.Sprintf("%.2f", st.Churn),
-				fmt.Sprintf("%.3f", st.L2))
+			cells = append(cells, gridCell{task, dev, v})
 		}
+	}
+	stats, err := stabilityGrid(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		st := stats[i]
+		tb.AddStrings(c.task.name, c.v.String(),
+			fmt.Sprintf("%.2f", st.AccMean),
+			fmt.Sprintf("%.3f", st.AccStd),
+			fmt.Sprintf("%.2f", st.Churn),
+			fmt.Sprintf("%.3f", st.L2))
 	}
 	return []*report.Table{tb}, nil
 }

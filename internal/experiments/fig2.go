@@ -18,21 +18,28 @@ func init() {
 func runFig2(cfg Config) ([]*report.Table, error) {
 	tb := report.New("Figure 2: model design (batch norm) amplifies or curbs noise (SmallCNN, CIFAR-10-like, V100)",
 		"batchnorm", "variant", "stddev(acc)", "churn(%)", "l2")
+	var cells []gridCell
+	var labels []string
 	for _, task := range []taskSpec{taskSmallCNNC10, taskSmallCNNC10BN} {
 		label := "without"
 		if task.name == taskSmallCNNC10BN.name {
 			label = "with"
 		}
 		for _, v := range core.StandardVariants {
-			st, err := stability(cfg, task, device.V100, v)
-			if err != nil {
-				return nil, err
-			}
-			tb.AddStrings(label, v.String(),
-				fmt.Sprintf("%.3f", st.AccStd),
-				fmt.Sprintf("%.2f", st.Churn),
-				fmt.Sprintf("%.3f", st.L2))
+			cells = append(cells, gridCell{task, device.V100, v})
+			labels = append(labels, label)
 		}
+	}
+	stats, err := stabilityGrid(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		st := stats[i]
+		tb.AddStrings(labels[i], c.v.String(),
+			fmt.Sprintf("%.3f", st.AccStd),
+			fmt.Sprintf("%.2f", st.Churn),
+			fmt.Sprintf("%.3f", st.L2))
 	}
 	return []*report.Table{tb}, nil
 }
@@ -42,21 +49,26 @@ func runFig2(cfg Config) ([]*report.Table, error) {
 func runFig4(cfg Config) ([]*report.Table, error) {
 	tb := report.New("Figure 4: per-class accuracy variance vs overall (ResNet18, V100)",
 		"dataset", "variant", "stddev(acc)", "max per-class stddev", "ratio")
+	var cells []gridCell
 	for _, task := range []taskSpec{taskResNet18C10, taskResNet18C100} {
 		for _, v := range core.StandardVariants {
-			st, err := stability(cfg, task, device.V100, v)
-			if err != nil {
-				return nil, err
-			}
-			ratio := 0.0
-			if st.AccStd > 0 {
-				ratio = st.MaxPerClassStd / st.AccStd
-			}
-			tb.AddStrings(task.name, v.String(),
-				fmt.Sprintf("%.3f", st.AccStd),
-				fmt.Sprintf("%.3f", st.MaxPerClassStd),
-				fmt.Sprintf("%.1fX", ratio))
+			cells = append(cells, gridCell{task, device.V100, v})
 		}
+	}
+	stats, err := stabilityGrid(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		st := stats[i]
+		ratio := 0.0
+		if st.AccStd > 0 {
+			ratio = st.MaxPerClassStd / st.AccStd
+		}
+		tb.AddStrings(c.task.name, c.v.String(),
+			fmt.Sprintf("%.3f", st.AccStd),
+			fmt.Sprintf("%.3f", st.MaxPerClassStd),
+			fmt.Sprintf("%.1fX", ratio))
 	}
 	return []*report.Table{tb}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/device"
 	"repro/internal/report"
+	"repro/internal/sched"
 )
 
 func init() {
@@ -21,17 +22,22 @@ func runFig5(cfg Config) ([]*report.Table, error) {
 	tb := report.New("Figure 5: stability by accelerator (ResNet18, CIFAR-100-like)",
 		"accelerator", "variant", "stddev(acc)", "churn(%)", "l2")
 	devices := []device.Config{device.P100, device.V100, device.RTX5000, device.RTX5000TC, device.TPUv2}
+	var cells []gridCell
 	for _, dev := range devices {
 		for _, v := range core.StandardVariants {
-			st, err := stability(cfg, taskResNet18C100, dev, v)
-			if err != nil {
-				return nil, err
-			}
-			tb.AddStrings(dev.Name, v.String(),
-				fmt.Sprintf("%.3f", st.AccStd),
-				fmt.Sprintf("%.2f", st.Churn),
-				fmt.Sprintf("%.3f", st.L2))
+			cells = append(cells, gridCell{taskResNet18C100, dev, v})
 		}
+	}
+	stats, err := stabilityGrid(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		st := stats[i]
+		tb.AddStrings(c.dev.Name, c.v.String(),
+			fmt.Sprintf("%.3f", st.AccStd),
+			fmt.Sprintf("%.2f", st.Churn),
+			fmt.Sprintf("%.3f", st.L2))
 	}
 	return []*report.Table{tb}, nil
 }
@@ -45,7 +51,8 @@ func runFig6(cfg Config) ([]*report.Table, error) {
 	batches := []int{n / 15, n / 4, n} // small, medium, full batch
 	tb := report.New("Figure 6: data input order alone breaks determinism on TPU (SmallCNN)",
 		"batch size", "churn(%)", "stddev(acc)")
-	for _, b := range batches {
+	stats, err := sched.Map(len(batches), func(i int) (core.Stability, error) {
+		b := batches[i]
 		task := taskSmallCNNC10
 		task.name = fmt.Sprintf("%s/batch%d", task.name, b)
 		task.batch = b
@@ -58,12 +65,17 @@ func runFig6(cfg Config) ([]*report.Table, error) {
 		task.epochs = [3]int{100, 140, 200}
 		results, dsUsed, err := population(cfg, task, device.TPUv2, core.DataOrderOnly)
 		if err != nil {
-			return nil, err
+			return core.Stability{}, err
 		}
-		st := core.Summarize(results, dsUsed.Test.Y, dsUsed.Classes)
+		return core.Summarize(results, dsUsed.Test.Y, dsUsed.Classes), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range batches {
 		tb.AddStrings(fmt.Sprintf("%d", b),
-			fmt.Sprintf("%.2f", st.Churn),
-			fmt.Sprintf("%.3f", st.AccStd))
+			fmt.Sprintf("%.2f", stats[i].Churn),
+			fmt.Sprintf("%.3f", stats[i].AccStd))
 	}
 	return []*report.Table{tb}, nil
 }

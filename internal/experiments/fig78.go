@@ -7,6 +7,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/profile"
 	"repro/internal/report"
+	"repro/internal/sched"
 )
 
 func init() {
@@ -19,26 +20,33 @@ func init() {
 // for VGG-19 and InceptionV3 in TF-default versus TF-deterministic mode,
 // showing deterministic mode's skew toward a narrow kernel set.
 func runFig7(cfg Config) ([]*report.Table, error) {
-	var tables []*report.Table
+	type cell struct {
+		g    *models.Graph
+		mode device.Mode
+	}
+	var cells []cell
 	for _, g := range []*models.Graph{models.VGG19Graph(), models.InceptionV3Graph()} {
 		for _, mode := range []device.Mode{device.Default, device.Deterministic} {
-			p, err := profile.Graph(g, device.ArchVolta, mode, profile.Options{})
-			if err != nil {
-				return nil, err
-			}
-			tb := report.New(
-				fmt.Sprintf("Figure 7: top-20 kernels, %s, TF %s mode (V100, batch %d, %d steps)",
-					g.Name, mode, p.Batch, p.Steps),
-				"kernel", "cumulative time (ms)", "share")
-			for _, k := range p.TopK(20) {
-				tb.AddStrings(k.Name,
-					fmt.Sprintf("%.1f", k.Millis),
-					fmt.Sprintf("%.1f%%", 100*k.Millis/p.Total))
-			}
-			tables = append(tables, tb)
+			cells = append(cells, cell{g, mode})
 		}
 	}
-	return tables, nil
+	return sched.Map(len(cells), func(i int) (*report.Table, error) {
+		g, mode := cells[i].g, cells[i].mode
+		p, err := profile.Graph(g, device.ArchVolta, mode, profile.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tb := report.New(
+			fmt.Sprintf("Figure 7: top-20 kernels, %s, TF %s mode (V100, batch %d, %d steps)",
+				g.Name, mode, p.Batch, p.Steps),
+			"kernel", "cumulative time (ms)", "share")
+		for _, k := range p.TopK(20) {
+			tb.AddStrings(k.Name,
+				fmt.Sprintf("%.1f", k.Millis),
+				fmt.Sprintf("%.1f%%", 100*k.Millis/p.Total))
+		}
+		return tb, nil
+	})
 }
 
 // runFig8a reproduces Figure 8a: deterministic-mode GPU time relative to
@@ -46,16 +54,24 @@ func runFig7(cfg Config) ([]*report.Table, error) {
 func runFig8a(cfg Config) ([]*report.Table, error) {
 	tb := report.New("Figure 8a: normalized deterministic execution GPU time across networks",
 		"network", "P100", "V100", "T4")
-	for _, g := range models.Zoo() {
-		cells := []string{g.Name}
+	zoo := models.Zoo()
+	rows, err := sched.Map(len(zoo), func(i int) ([]string, error) {
+		g := zoo[i]
+		row := []string{g.Name}
 		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
 			ov, err := profile.Overhead(g, arch, profile.Options{})
 			if err != nil {
 				return nil, err
 			}
-			cells = append(cells, fmt.Sprintf("%.0f%%", 100*ov))
+			row = append(row, fmt.Sprintf("%.0f%%", 100*ov))
 		}
-		tb.AddStrings(cells...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddStrings(row...)
 	}
 	return []*report.Table{tb}, nil
 }
@@ -65,17 +81,25 @@ func runFig8a(cfg Config) ([]*report.Table, error) {
 func runFig8b(cfg Config) ([]*report.Table, error) {
 	tb := report.New("Figure 8b: normalized deterministic GPU time vs conv kernel size (medium CNN)",
 		"kernel", "P100", "V100", "T4")
-	for _, k := range []int{1, 3, 5, 7} {
+	kernels := []int{1, 3, 5, 7}
+	rows, err := sched.Map(len(kernels), func(i int) ([]string, error) {
+		k := kernels[i]
 		g := models.MediumCNNGraph(k)
-		cells := []string{fmt.Sprintf("%d*%d", k, k)}
+		row := []string{fmt.Sprintf("%d*%d", k, k)}
 		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
 			ov, err := profile.Overhead(g, arch, profile.Options{})
 			if err != nil {
 				return nil, err
 			}
-			cells = append(cells, fmt.Sprintf("%.0f%%", 100*ov))
+			row = append(row, fmt.Sprintf("%.0f%%", 100*ov))
 		}
-		tb.AddStrings(cells...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddStrings(row...)
 	}
 	return []*report.Table{tb}, nil
 }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// TestPopulationSingleflight proves the singleflight cache: many goroutines
+// racing for the same (task, device, variant) key must train the population
+// exactly once, and all of them must observe the identical result slice.
+func TestPopulationSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	ResetCache()
+	cfg := testCfg()
+
+	const callers = 8
+	results := make([][]*core.RunResult, callers)
+	errs := make([]error, callers)
+	before := popTrains.Load()
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait() // maximize contention: release everyone at once
+			res, _, err := population(cfg, taskSmallCNNC10, device.V100, core.Control)
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	trained := popTrains.Load() - before
+	if trained != 1 {
+		t.Fatalf("%d concurrent callers trained the population %d times, want exactly 1", callers, trained)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if len(results[i]) != cfg.replicas() {
+			t.Fatalf("caller %d got %d replicas, want %d", i, len(results[i]), cfg.replicas())
+		}
+		// Singleflight shares the flight's result, it does not re-run it:
+		// every caller sees the same underlying slice.
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("caller %d received a different result slice", i)
+		}
+	}
+
+	// A second, sequential call is a pure cache hit.
+	if _, _, err := population(cfg, taskSmallCNNC10, device.V100, core.Control); err != nil {
+		t.Fatal(err)
+	}
+	if got := popTrains.Load() - before; got != 1 {
+		t.Fatalf("cache hit retrained: %d trainings", got)
+	}
+}
+
+// TestDatasetCachedSingleflight checks the dataset cache builds each
+// dataset once under concurrency and always returns the same instance.
+func TestDatasetCachedSingleflight(t *testing.T) {
+	cfg := testCfg()
+	const callers = 8
+	got := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			got[i] = datasetCached(taskResNet18C10.name, cfg.Scale, taskResNet18C10.dataset)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a distinct dataset instance", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/sched"
 )
 
 // taskSpec is a dataset/model training recipe, the reproduction analogue of
@@ -18,29 +20,31 @@ import (
 // noise amplifies into measurable divergence while accuracy still
 // converges (see DESIGN.md).
 type taskSpec struct {
-	name    string
-	dataset func(data.Scale) *data.Dataset
-	model   func(classes int) *nn.Sequential
-	epochs  [3]int // indexed by data.Scale
-	batch   int
-	lr      float64
-	decayAt float64 // fraction of epochs after which LR divides by 10
-	augment data.Augment
+	name        string
+	dataset     func(data.Scale) *data.Dataset
+	model       func(classes int) *nn.Sequential
+	epochs      [3]int // indexed by data.Scale
+	batch       int
+	lr          float64
+	decayAt     float64 // fraction of epochs after which LR divides by 10
+	weightDecay float64 // L2 regularization; 0 for every paper recipe
+	augment     data.Augment
 }
 
 func (t taskSpec) trainConfig(cfg Config, dev device.Config) (core.TrainConfig, *data.Dataset) {
 	ds := datasetCached(t.name, cfg.Scale, t.dataset)
 	epochs := t.epochs[cfg.Scale]
 	return core.TrainConfig{
-		Model:    func() *nn.Sequential { return t.model(ds.Classes) },
-		Dataset:  ds,
-		Device:   dev,
-		Epochs:   epochs,
-		Batch:    t.batch,
-		Schedule: opt.StepDecay{Base: t.lr, Factor: 10, Every: int(float64(epochs) * t.decayAt)},
-		Momentum: 0.9,
-		Augment:  t.augment,
-		BaseSeed: cfg.Seed,
+		Model:       func() *nn.Sequential { return t.model(ds.Classes) },
+		Dataset:     ds,
+		Device:      dev,
+		Epochs:      epochs,
+		Batch:       t.batch,
+		Schedule:    opt.StepDecay{Base: t.lr, Factor: 10, Every: int(float64(epochs) * t.decayAt)},
+		Momentum:    0.9,
+		WeightDecay: t.weightDecay,
+		Augment:     t.augment,
+		BaseSeed:    cfg.Seed,
 	}, ds
 }
 
@@ -104,46 +108,115 @@ var (
 var fig1Tasks = []taskSpec{taskSmallCNNC10, taskResNet18C10, taskResNet18C100, taskResNet50ImageNet}
 
 // population caching ---------------------------------------------------------
+//
+// Grid runners execute their cells concurrently, and several artifacts
+// share populations (Figure 1, Figure 4 and Table 2 all train ResNet-18 on
+// V100), so the cache is singleflight-style: the first caller of a key
+// trains the population while every concurrent caller of the same key
+// blocks on the entry's sync.Once and then reads the shared result —
+// shared work trains exactly once no matter how many cells race for it.
+
+type popEntry struct {
+	once    sync.Once
+	results []*core.RunResult
+	err     error
+}
+
+type dsEntry struct {
+	once sync.Once
+	ds   *data.Dataset
+	err  error // set when gen panicked; waiters re-panic with this context
+}
 
 var (
 	popMu    sync.Mutex
-	popCache = map[string][]*core.RunResult{}
+	popCache = map[string]*popEntry{}
 
 	dsMu    sync.Mutex
-	dsCache = map[string]*data.Dataset{}
+	dsCache = map[string]*dsEntry{}
+
+	// popTrains counts populations actually trained (not served from
+	// cache); tests use it to prove singleflight dedup.
+	popTrains atomic.Int64
 )
 
 func datasetCached(task string, s data.Scale, gen func(data.Scale) *data.Dataset) *data.Dataset {
-	dsMu.Lock()
-	defer dsMu.Unlock()
 	key := fmt.Sprintf("%s@%s", task, s)
-	if ds, ok := dsCache[key]; ok {
-		return ds
+	dsMu.Lock()
+	e, ok := dsCache[key]
+	if !ok {
+		e = &dsEntry{}
+		dsCache[key] = e
 	}
-	ds := gen(s)
-	dsCache[key] = ds
-	return ds
+	dsMu.Unlock()
+	e.once.Do(func() {
+		// A panic in gen would otherwise poison the entry forever (sync.Once
+		// marks done even on panic): record the cause for concurrent waiters,
+		// drop the entry so a retry can rebuild, and keep crash semantics.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("experiments: dataset %s: panic during generation: %v", key, r)
+				dsMu.Lock()
+				if dsCache[key] == e {
+					delete(dsCache, key)
+				}
+				dsMu.Unlock()
+				panic(r)
+			}
+		}()
+		e.ds = gen(s)
+	})
+	if e.err != nil {
+		// A waiter whose flight owner panicked: surface the original cause
+		// instead of handing out a nil dataset that crashes far away.
+		panic(e.err)
+	}
+	return e.ds
 }
 
 // population trains (or fetches from cache) the replica population for one
-// (task, device, variant) cell of an experiment grid.
+// (task, device, variant) cell of an experiment grid. Concurrent calls with
+// the same key train the population exactly once.
 func population(cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
 	tc, ds := t.trainConfig(cfg, dev)
 	key := fmt.Sprintf("%s|%s|%s|%d|%s|%d", t.name, dev.Name, v, cfg.replicas(), cfg.Scale, cfg.Seed)
 	popMu.Lock()
-	cached, ok := popCache[key]
-	popMu.Unlock()
-	if ok {
-		return cached, ds, nil
+	e, ok := popCache[key]
+	if !ok {
+		e = &popEntry{}
+		popCache[key] = e
 	}
-	results, err := core.RunVariant(tc, v, cfg.replicas())
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
-	}
-	popMu.Lock()
-	popCache[key] = results
 	popMu.Unlock()
-	return results, ds, nil
+	e.once.Do(func() {
+		// If training panics, sync.Once still marks the entry done and every
+		// waiter would observe nil results with a nil error. Record the
+		// panic as the flight's error for the waiters, then re-panic so the
+		// flight owner keeps crash semantics.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("experiments: %s on %s under %s: panic during training: %v", t.name, dev.Name, v, r)
+				panic(r)
+			}
+		}()
+		popTrains.Add(1)
+		results, err := core.RunVariant(tc, v, cfg.replicas())
+		if err != nil {
+			e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
+			return
+		}
+		e.results = results
+	})
+	if e.err != nil {
+		// Drop the failed entry so a later call can retry (the error is
+		// still returned to everyone who waited on this flight).
+		popMu.Lock()
+		if popCache[key] == e {
+			delete(popCache, key)
+		}
+		popMu.Unlock()
+		return nil, nil, e.err
+	}
+	return e.results, ds, nil
 }
 
 // stability trains a population and summarizes it in one call.
@@ -155,9 +228,25 @@ func stability(cfg Config, t taskSpec, dev device.Config, v core.Variant) (core.
 	return core.Summarize(results, ds.Test.Y, ds.Classes), nil
 }
 
+// gridCell is one (task, device, variant) cell of an experiment grid.
+type gridCell struct {
+	task taskSpec
+	dev  device.Config
+	v    core.Variant
+}
+
+// stabilityGrid trains every cell's population concurrently on the sched
+// pool and returns per-cell stability summaries in cell order. Shared
+// populations dedup through the singleflight cache.
+func stabilityGrid(cfg Config, cells []gridCell) ([]core.Stability, error) {
+	return sched.Map(len(cells), func(i int) (core.Stability, error) {
+		return stability(cfg, cells[i].task, cells[i].dev, cells[i].v)
+	})
+}
+
 // ResetCache clears the population cache (tests use this to force retrains).
 func ResetCache() {
 	popMu.Lock()
-	popCache = map[string][]*core.RunResult{}
+	popCache = map[string]*popEntry{}
 	popMu.Unlock()
 }

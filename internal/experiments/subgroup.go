@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/device"
 	"repro/internal/report"
+	"repro/internal/sched"
 )
 
 func init() {
@@ -31,20 +32,29 @@ func runTable3(cfg Config) ([]*report.Table, error) {
 	return []*report.Table{tb}, nil
 }
 
-// subgroupRows trains the CelebA populations and returns the per-variant
-// sub-group stability rows shared by Table 5 and Figure 3.
+// subgroupRows trains the CelebA populations (one per variant,
+// concurrently) and returns the per-variant sub-group stability rows shared
+// by Table 5 and Figure 3.
 func subgroupRows(cfg Config) (map[core.Variant][]core.SubgroupStability, *data.Dataset, error) {
-	out := map[core.Variant][]core.SubgroupStability{}
-	var ds *data.Dataset
-	for _, v := range core.StandardVariants {
-		results, d, err := population(cfg, taskCelebA, device.V100, v)
-		if err != nil {
-			return nil, nil, err
-		}
-		ds = d
-		out[v] = core.SummarizeSubgroups(results, d.Test)
+	type variantRows struct {
+		rows []core.SubgroupStability
+		ds   *data.Dataset
 	}
-	return out, ds, nil
+	per, err := sched.Map(len(core.StandardVariants), func(i int) (variantRows, error) {
+		results, d, err := population(cfg, taskCelebA, device.V100, core.StandardVariants[i])
+		if err != nil {
+			return variantRows{}, err
+		}
+		return variantRows{core.SummarizeSubgroups(results, d.Test), d}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[core.Variant][]core.SubgroupStability{}
+	for i, v := range core.StandardVariants {
+		out[v] = per[i].rows
+	}
+	return out, per[len(per)-1].ds, nil
 }
 
 // runTable5 reproduces Table 5: stddev of sub-group accuracy, FPR and FNR

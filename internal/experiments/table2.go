@@ -27,18 +27,28 @@ func runTable2(cfg Config) ([]*report.Table, error) {
 		{device.RTX5000, fig1Tasks[:3]},
 		{device.V100, fig1Tasks}, // V100 adds ResNet50/ImageNet (paper Table 2)
 	}
+	// Flatten the hardware × task × variant grid and train every population
+	// concurrently; the singleflight cache dedups cells shared with other
+	// artifacts (Figure 1/9/10 reuse entire blocks of this table).
+	var cells []gridCell
 	for _, b := range blocks {
 		for _, task := range b.tasks {
-			cells := make([]string, 0, 3)
 			for _, v := range core.StandardVariants {
-				st, err := stability(cfg, task, b.dev, v)
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, fmt.Sprintf("%.2f%%±%.2f", st.AccMean, st.AccStd))
+				cells = append(cells, gridCell{task, b.dev, v})
 			}
-			tb.AddStrings(b.dev.Name, task.name, cells[0], cells[1], cells[2])
 		}
+	}
+	stats, err := stabilityGrid(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += len(core.StandardVariants) {
+		row := make([]string, 0, 3)
+		for j := range core.StandardVariants {
+			st := stats[i+j]
+			row = append(row, fmt.Sprintf("%.2f%%±%.2f", st.AccMean, st.AccStd))
+		}
+		tb.AddStrings(cells[i].dev.Name, cells[i].task.name, row[0], row[1], row[2])
 	}
 	return []*report.Table{tb}, nil
 }

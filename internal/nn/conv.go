@@ -19,6 +19,15 @@ type Conv2D struct {
 	lastCol             *tensor.Tensor  // cached im2col matrix
 	lastGeom            tensor.ConvGeom // geometry of the last forward
 	haveForward         bool
+
+	// Scratch backing storage reused across training steps: the im2col
+	// matrix (the largest allocation in the network) and the backward-data
+	// output. Both are fully overwritten each use — Im2Col writes every
+	// element including padding zeros, and dx is zeroed before the col2im
+	// scatter — and neither escapes the step: downstream layers never
+	// retain gradient tensors, only forward activations.
+	colBuf []float32
+	dxBuf  []float32
 }
 
 // NewConv2D builds a convolution layer. kernel is the (square) filter size.
@@ -66,7 +75,11 @@ func (c *Conv2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tens
 	if err := g.Validate(); err != nil {
 		panic(err)
 	}
-	col := tensor.New(g.ColRows(), g.ColCols())
+	rows, cols := g.ColRows(), g.ColCols()
+	if cap(c.colBuf) < rows*cols {
+		c.colBuf = make([]float32, rows*cols)
+	}
+	col := tensor.FromSlice(c.colBuf[:rows*cols], rows, cols)
 	tensor.Im2Col(x, g, col)
 	// yMat: (OutC, N*OH*OW)
 	yMat := dev.MatMul(c.W.Value, col, false, false)
@@ -95,7 +108,12 @@ func (c *Conv2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor 
 
 	// dcol = W^T × dyMat, then scatter back to image space (atomicAdd sim).
 	dcol := dev.MatMul(c.W.Value, dyMat, true, false)
-	dx := tensor.New(g.Batch, g.InC, g.InH, g.InW)
+	n := g.Batch * g.InC * g.InH * g.InW
+	if cap(c.dxBuf) < n {
+		c.dxBuf = make([]float32, n)
+	}
+	dx := tensor.FromSlice(c.dxBuf[:n], g.Batch, g.InC, g.InH, g.InW)
+	dx.Zero() // Col2Im accumulates; the scratch holds last step's values
 	dev.Col2Im(dcol, g, dx)
 	c.haveForward = false
 	return dx

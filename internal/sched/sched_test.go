@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	var counts [1000]int32
+	if err := ForEach(len(counts), func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Dispatch stops after the error is recorded; with a small index
+	// triggering it, the vast majority of the 1000 items must be skipped.
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not stop dispatch")
+	}
+}
+
+func TestForEachPanicCaptured(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+		if pe.Index != 7 || pe.Value != "kaboom" {
+			t.Fatalf("PanicError = %+v", pe)
+		}
+	}()
+	_ = ForEach(8, func(i int) error {
+		if i == 7 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	t.Fatal("unreachable")
+}
+
+// TestNestedForEachNoDeadlock exercises the grid-runner shape: an outer
+// loop whose items each run an inner parallel loop. The caller-participates
+// design must complete even when outer items outnumber the worker budget.
+func TestNestedForEachNoDeadlock(t *testing.T) {
+	old := Workers()
+	SetWorkers(2)
+	defer SetWorkers(old)
+	var total atomic.Int32
+	err := ForEach(16, func(i int) error {
+		return ForEach(16, func(j int) error {
+			total.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 256 {
+		t.Fatalf("ran %d inner items, want 256", total.Load())
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS", Workers())
+	}
+}
+
+func TestMapZeroAndOne(t *testing.T) {
+	if out, err := Map(0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("Map(0): %v %v", out, err)
+	}
+	out, err := Map(1, func(int) (string, error) { return "x", nil })
+	if err != nil || len(out) != 1 || out[0] != "x" {
+		t.Fatalf("Map(1): %v %v", out, err)
+	}
+}

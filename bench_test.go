@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/data"
@@ -28,11 +29,11 @@ var benchCfg = experiments.Config{Scale: data.ScaleTest, Replicas: 2, Seed: 2022
 func benchArtifact(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tables, err := RunExperiment(id, benchCfg)
+		res, err := RunExperiment(context.Background(), id, benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(tables) == 0 {
+		if len(res.Tables) == 0 {
 			b.Fatalf("%s produced no tables", id)
 		}
 	}

@@ -8,25 +8,37 @@
 //	nnrand [flags] <experiment> [<experiment>...]
 //	nnrand [flags] all
 //	nnrand list
+//	nnrand serve [-addr :8080] [-cache N]
 //
-// Flags:
+// Flags (accepted before or after the experiment names):
 //
 //	-scale    test|quick|full   workload scale (default quick)
 //	-replicas N                 replicas per variant (default: scale-dependent)
 //	-seed     N                 base seed for all seed policies
 //	-workers  N                 worker pool size (default: GOMAXPROCS)
 //	-tsv                        emit tab-separated values instead of tables
+//	-json                       emit a JSON array of typed results
+//
+// `serve` starts the embeddable HTTP/JSON service (see internal/server):
+// GET /v1/experiments, POST /v1/experiments/{id}/run, GET /v1/results/{key}.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/server"
 )
 
 func main() {
@@ -43,66 +55,164 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 20220622, "base seed for all seed policies")
 	workers := fs.Int("workers", 0, "worker pool size for replica/grid parallelism (0 = GOMAXPROCS)")
 	tsv := fs.Bool("tsv", false, "emit tab-separated values")
+	jsonOut := fs.Bool("json", false, "emit a JSON array of typed results")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: nnrand [flags] <experiment>... | all | list\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
+		fmt.Fprintf(fs.Output(), "usage: nnrand [flags] <experiment>... | all | list | serve\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(args); err != nil {
-		return err
+	// Accept flags before and after positional arguments (`nnrand -json
+	// table2 -scale test` works): re-parse after each positional run. The
+	// serve sub-command owns everything after its name.
+	var ids []string
+	var serveArgs []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		if len(ids) == 0 && args[0] == "serve" {
+			ids, serveArgs = []string{"serve"}, args[1:]
+			break
+		}
+		ids = append(ids, args[0])
+		args = args[1:]
 	}
-	if fs.NArg() == 0 {
+	if len(ids) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment given")
 	}
 
-	var scale data.Scale
-	switch *scaleFlag {
-	case "test":
-		scale = data.ScaleTest
-	case "quick":
-		scale = data.ScaleQuick
-	case "full":
-		scale = data.ScaleFull
-	default:
-		return fmt.Errorf("unknown scale %q (test, quick or full)", *scaleFlag)
+	scale, err := data.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
 	}
 	sched.SetWorkers(*workers)
 	cfg := experiments.Config{Scale: scale, Replicas: *replicas, Seed: *seed}
 
-	ids := fs.Args()
+	if ids[0] == "serve" {
+		return serveCmd(serveArgs)
+	}
 	if len(ids) == 1 && ids[0] == "list" {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
-		}
-		return nil
+		return list(os.Stdout)
 	}
-	if len(ids) == 1 && ids[0] == "all" {
-		ids = experiments.IDs()
-	}
+	// Expand `all` wherever it appears, then run each experiment at most
+	// once per invocation, keeping first-occurrence order (`nnrand fig1
+	// fig1` and `nnrand all fig1` collapse).
+	ids = dedup(expandAll(ids, experiments.IDs()))
 
-	for _, id := range ids {
-		runner, err := experiments.Get(id)
-		if err != nil {
+	// Validate every ID up front so a typo at the end of the list fails
+	// before hours of training, not after.
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
+		if runners[i], err = experiments.Get(id); err != nil {
 			return err
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var results []*report.Result
+	for i, id := range ids {
 		start := time.Now()
-		tables, err := runner(cfg)
+		res, err := runners[i](ctx, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		for _, tb := range tables {
-			var renderErr error
-			if *tsv {
-				renderErr = tb.RenderTSV(os.Stdout)
-			} else {
-				renderErr = tb.Render(os.Stdout)
+			// In JSON mode completed experiments have produced no output
+			// yet; render them before surfacing the error so an interrupt
+			// or late failure never discards hours of finished training.
+			if *jsonOut && len(results) > 0 {
+				if rerr := report.RenderJSONResults(os.Stdout, results); rerr != nil {
+					return fmt.Errorf("%w (and rendering completed results failed: %v)", err, rerr)
+				}
 			}
-			if renderErr != nil {
-				return renderErr
-			}
-			fmt.Println()
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "[%s: %.1fs]\n", id, time.Since(start).Seconds())
+		results = append(results, res)
+		switch {
+		case *jsonOut:
+			// Rendered once, as one array, after every experiment finishes.
+		case *tsv:
+			if err := res.RenderTSV(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			if err := res.RenderText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "[%s: %.1fs]\n", id, time.Since(start).Seconds())
+		}
+	}
+	if *jsonOut {
+		return report.RenderJSONResults(os.Stdout, results)
 	}
 	return nil
+}
+
+// expandAll substitutes every occurrence of the `all` pseudo-ID with the
+// full experiment list; dedup then collapses the overlap.
+func expandAll(ids, all []string) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id == "all" {
+			out = append(out, all...)
+		} else {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// dedup removes repeated experiment IDs, preserving first-occurrence order.
+func dedup(ids []string) []string {
+	seen := make(map[string]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// list prints the registry with its metadata: ID, artifact kind, relative
+// cost and title.
+func list(w io.Writer) error {
+	tb := report.New("", "id", "artifact", "cost", "title")
+	for _, m := range experiments.All() {
+		tb.AddStrings(m.ID, string(m.Artifact), m.Cost, m.Title)
+	}
+	return tb.Render(w)
+}
+
+// serveCmd runs the HTTP/JSON service until the process is interrupted.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache", server.DefaultCacheSize, "completed-result LRU capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(server.Options{CacheSize: *cache}).Handler(),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nnrand: serving on %s\n", *addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func TestRunRequiresExperiment(t *testing.T) {
@@ -39,5 +43,129 @@ func TestRunCheapArtifacts(t *testing.T) {
 	}
 	if err := run([]string{"-scale", "test", "-tsv", "fig8a"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFlagsAfterPositionals(t *testing.T) {
+	// The acceptance-criteria invocation shape: flags interleaved after the
+	// experiment name must parse.
+	if err := run([]string{"-json", "table4", "-scale", "test"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"table4", "-scale", "gigantic"})
+	if err == nil || !strings.Contains(err.Error(), "gigantic") {
+		t.Fatalf("trailing bad flag: err = %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := new(strings.Builder)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf.Write(tmp[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestJSONOutputIsValidResultArray pins the `-json` contract: one JSON
+// array of typed results, whose cells agree with the text rendering.
+func TestJSONOutputIsValidResultArray(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-json", "-scale", "test", "table4", "fig8b"})
+	})
+	var results []report.Result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("-json output is not a JSON array of results: %v\n%s", err, out)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Experiment != "table4" || results[1].Experiment != "fig8b" {
+		t.Fatalf("experiments = %s, %s", results[0].Experiment, results[1].Experiment)
+	}
+	if results[0].Config.Scale != "test" {
+		t.Fatalf("config echo = %+v", results[0].Config)
+	}
+	if len(results[1].Tables) == 0 || len(results[1].Tables[0].Rows) == 0 {
+		t.Fatal("fig8b JSON carries no rows")
+	}
+}
+
+// TestDuplicateExperimentsRunOnce asserts `nnrand table4 table4` renders
+// the artifact a single time.
+func TestDuplicateExperimentsRunOnce(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-scale", "test", "table4", "table4", "table4"})
+	})
+	if got := strings.Count(out, "Table 4: dataset overview"); got != 1 {
+		t.Fatalf("table4 rendered %d times, want 1\n%s", got, out)
+	}
+}
+
+// TestExpandAllAnywhere pins that `all` expands wherever it appears in the
+// argument list (`nnrand all fig1` runs every experiment once, not an
+// unknown-experiment error).
+func TestExpandAllAnywhere(t *testing.T) {
+	all := []string{"a", "b", "c"}
+	got := dedup(expandAll([]string{"b", "all"}, all))
+	want := []string{"b", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("expandAll = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("expandAll = %v, want %v", got, want)
+		}
+	}
+	if got := dedup(expandAll([]string{"all", "all"}, all)); len(got) != len(all) {
+		t.Fatalf("all all = %v", got)
+	}
+}
+
+func TestDedupPreservesOrder(t *testing.T) {
+	got := dedup([]string{"b", "a", "b", "c", "a"})
+	want := []string{"b", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("dedup = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedup = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestListIncludesMetadata asserts `nnrand list` surfaces artifact kind,
+// cost and title alongside each ID.
+func TestListIncludesMetadata(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"list"}) })
+	for _, want := range []string{"table2", "fig8b", "heavy", "none", "Table 2: test accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -24,12 +24,15 @@
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitution notes, and EXPERIMENTS.md for paper-versus-measured results.
 //
-// RunExperiment regenerates one paper artifact programmatically:
+// RunExperiment regenerates one paper artifact programmatically as a typed
+// Result (render it with RenderText, RenderTSV or RenderJSON):
 //
-//	tables, err := repro.RunExperiment("fig5", repro.QuickConfig())
+//	res, err := repro.RunExperiment(ctx, "fig5", repro.QuickConfig())
 package repro
 
 import (
+	"context"
+
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -37,18 +40,27 @@ import (
 // Config aliases the experiment configuration (scale, replicas, seed).
 type Config = experiments.Config
 
+// Result aliases the typed experiment result (tables, config echo,
+// wall time) returned by RunExperiment.
+type Result = report.Result
+
+// ExperimentMeta aliases the registry metadata (title, artifact kind,
+// workloads, relative cost) describing one experiment.
+type ExperimentMeta = experiments.Meta
+
 // QuickConfig returns the default experiment configuration used by the CLI.
 func QuickConfig() Config { return experiments.DefaultConfig() }
 
 // Experiments lists every reproducible table and figure ID.
 func Experiments() []string { return experiments.IDs() }
 
+// ExperimentList returns the registry metadata for every experiment in ID
+// order.
+func ExperimentList() []ExperimentMeta { return experiments.All() }
+
 // RunExperiment regenerates the named paper artifact (e.g. "table2",
-// "fig8b") and returns its rendered tables.
-func RunExperiment(id string, cfg Config) ([]*report.Table, error) {
-	runner, err := experiments.Get(id)
-	if err != nil {
-		return nil, err
-	}
-	return runner(cfg)
+// "fig8b") and returns its typed result. Cancelling ctx aborts in-flight
+// training at the next batch boundary.
+func RunExperiment(ctx context.Context, id string, cfg Config) (*Result, error) {
+	return experiments.Run(ctx, id, cfg)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 
 	const replicas = 5
 	fmt.Printf("\ntraining %d replicas under ALGO+IMPL noise...\n\n", replicas)
-	results, err := core.RunVariant(cfg, core.AlgoImpl, replicas)
+	results, err := core.RunVariant(context.Background(), cfg, core.AlgoImpl, replicas)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	const replicas = 3
 	fmt.Printf("training %d replicas per variant (%d epochs each)...\n\n", replicas, cfg.Epochs)
 	for _, variant := range []core.Variant{core.AlgoImpl, core.Algo, core.Impl, core.Control} {
-		results, err := core.RunVariant(cfg, variant, replicas)
+		results, err := core.RunVariant(context.Background(), cfg, variant, replicas)
 		if err != nil {
 			log.Fatal(err)
 		}

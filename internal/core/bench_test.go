@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/data"
@@ -37,7 +38,7 @@ func BenchmarkTrainingStep(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := RunReplica(tc, AlgoImpl, i); err != nil {
+				if _, err := RunReplica(context.Background(), tc, AlgoImpl, i); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -54,7 +55,7 @@ func BenchmarkRunVariantParallel(b *testing.B) {
 	tc := variantBenchConfig(ds)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunVariant(tc, AlgoImpl, 4); err != nil {
+		if _, err := RunVariant(context.Background(), tc, AlgoImpl, 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func BenchmarkRunVariantSequential(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for r := 0; r < 4; r++ {
-			if _, err := RunReplica(tc, AlgoImpl, r); err != nil {
+			if _, err := RunReplica(context.Background(), tc, AlgoImpl, r); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -104,7 +105,7 @@ func BenchmarkReplicaResNet18(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunReplica(tc, AlgoImpl, i); err != nil {
+		if _, err := RunReplica(context.Background(), tc, AlgoImpl, i); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunVariantCancelledBeforeStart pins the fast path: a pre-cancelled
+// context trains nothing and surfaces context.Canceled.
+func TestRunVariantCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunVariant(ctx, testConfig(), Control, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunVariantCancelReturnsPromptly cancels mid-training and asserts the
+// population run aborts at a batch boundary: the call must return well
+// before the many-epoch schedule could complete, carrying ctx.Err().
+func TestRunVariantCancelReturnsPromptly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epochs = 1000 // far more work than the test budget allows
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunVariant(ctx, cfg, Control, 2)
+		done <- err
+	}()
+	// Let training enter its batch loop, then pull the plug.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunVariant did not return promptly after cancellation")
+	}
+}
+
+// TestRunReplicaDeadlineExceeded checks deadline-style cancellation
+// propagates the context's own error value.
+func TestRunReplicaDeadlineExceeded(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epochs = 1000
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunReplica(ctx, cfg, Control, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

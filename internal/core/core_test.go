@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,11 +58,11 @@ func TestVariantStrings(t *testing.T) {
 
 func TestControlVariantBitwiseReproducible(t *testing.T) {
 	cfg := testConfig()
-	a, err := RunReplica(cfg, Control, 0)
+	a, err := RunReplica(context.Background(), cfg, Control, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunReplica(cfg, Control, 7) // replica index must not matter
+	b, err := RunReplica(context.Background(), cfg, Control, 7) // replica index must not matter
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func divergenceConfig() TrainConfig {
 func TestTrainingLearns(t *testing.T) {
 	cfg := testConfig()
 	cfg.Epochs = 8
-	res, err := RunReplica(cfg, Control, 0)
+	res, err := RunReplica(context.Background(), cfg, Control, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestImplVariantDiverges(t *testing.T) {
 	// The paper's central claim: with all algorithmic seeds fixed, tooling
 	// noise alone produces macroscopic divergence between replicas.
 	cfg := divergenceConfig()
-	results, err := RunVariant(cfg, Impl, 3)
+	results, err := RunVariant(context.Background(), cfg, Impl, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestImplVariantDiverges(t *testing.T) {
 
 func TestAlgoVariantDiverges(t *testing.T) {
 	cfg := testConfig()
-	results, err := RunVariant(cfg, Algo, 3)
+	results, err := RunVariant(context.Background(), cfg, Algo, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestAlgoVariantDeterministicGivenReplica(t *testing.T) {
 	// Same replica index twice under ALGO uses identical seeds and a
 	// deterministic device, so results must be bitwise equal.
 	cfg := testConfig()
-	a, err := RunReplica(cfg, Algo, 2)
+	a, err := RunReplica(context.Background(), cfg, Algo, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunReplica(cfg, Algo, 2)
+	b, err := RunReplica(context.Background(), cfg, Algo, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +162,11 @@ func TestControlOnTPUDeterministicEvenInDefaultMode(t *testing.T) {
 	// in Default mode must still be bitwise reproducible.
 	cfg := testConfig()
 	cfg.Device = device.TPUv2
-	a, err := RunReplica(cfg, Impl, 0)
+	a, err := RunReplica(context.Background(), cfg, Impl, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunReplica(cfg, Impl, 1)
+	b, err := RunReplica(context.Background(), cfg, Impl, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestDataOrderOnlyDivergesEvenOnTPU(t *testing.T) {
 	// floating-point accumulation sequence.
 	cfg := testConfig()
 	cfg.Device = device.TPUv2
-	results, err := RunVariant(cfg, DataOrderOnly, 3)
+	results, err := RunVariant(context.Background(), cfg, DataOrderOnly, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestDataOrderOnlyDivergesEvenOnTPU(t *testing.T) {
 
 func TestSummarizeShape(t *testing.T) {
 	cfg := testConfig()
-	results, err := RunVariant(cfg, AlgoImpl, 3)
+	results, err := RunVariant(context.Background(), cfg, AlgoImpl, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,22 +226,22 @@ func TestSummarizeEmpty(t *testing.T) {
 
 func TestRunVariantValidation(t *testing.T) {
 	cfg := testConfig()
-	if _, err := RunVariant(cfg, Algo, 0); err == nil {
+	if _, err := RunVariant(context.Background(), cfg, Algo, 0); err == nil {
 		t.Fatal("zero replicas accepted")
 	}
 	bad := cfg
 	bad.Epochs = 0
-	if _, err := RunReplica(bad, Algo, 0); err == nil {
+	if _, err := RunReplica(context.Background(), bad, Algo, 0); err == nil {
 		t.Fatal("zero epochs accepted")
 	}
 	bad2 := cfg
 	bad2.Schedule = nil
-	if _, err := RunReplica(bad2, Algo, 0); err == nil {
+	if _, err := RunReplica(context.Background(), bad2, Algo, 0); err == nil {
 		t.Fatal("nil schedule accepted")
 	}
 	bad3 := cfg
 	bad3.Model = nil
-	if _, err := RunReplica(bad3, Algo, 0); err == nil {
+	if _, err := RunReplica(context.Background(), bad3, Algo, 0); err == nil {
 		t.Fatal("nil model accepted")
 	}
 }
@@ -257,7 +258,7 @@ func TestSummarizeSubgroups(t *testing.T) {
 		Momentum: 0.9,
 		BaseSeed: 99,
 	}
-	results, err := RunVariant(cfg, AlgoImpl, 3)
+	results, err := RunVariant(context.Background(), cfg, AlgoImpl, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,13 +42,13 @@ func TestRunVariantParallelBitIdentical(t *testing.T) {
 			t.Parallel()
 			seq := make([]*RunResult, replicas)
 			for r := 0; r < replicas; r++ {
-				res, err := RunReplica(cfg, v, r)
+				res, err := RunReplica(context.Background(), cfg, v, r)
 				if err != nil {
 					t.Fatal(err)
 				}
 				seq[r] = res
 			}
-			par, err := RunVariant(cfg, v, replicas)
+			par, err := RunVariant(context.Background(), cfg, v, replicas)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +104,7 @@ func TestRunVariantParallelSingleWorker(t *testing.T) {
 	ds := data.CIFAR10Like(data.ScaleTest)
 	cfg := parallelTestConfig(ds)
 	cfg.Epochs = 1
-	res, err := RunVariant(cfg, Control, 2)
+	res, err := RunVariant(context.Background(), cfg, Control, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,13 +124,13 @@ func TestWeightDecayPlumbed(t *testing.T) {
 	base := parallelTestConfig(ds)
 	base.Epochs = 1
 
-	plain, err := RunReplica(base, Control, 0)
+	plain, err := RunReplica(context.Background(), base, Control, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	decayed := base
 	decayed.WeightDecay = 0.05
-	wd, err := RunReplica(decayed, Control, 0)
+	wd, err := RunReplica(context.Background(), decayed, Control, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/data"
@@ -88,10 +89,15 @@ func SeedsFor(base uint64, v Variant, replica int) (initS, shuffleS, augS *rng.S
 }
 
 // RunReplica trains a single replica under the variant's seed policy and
-// returns its trained state and test-set behaviour.
-func RunReplica(cfg TrainConfig, v Variant, replica int) (*RunResult, error) {
+// returns its trained state and test-set behaviour. Cancelling ctx aborts
+// the training loop at the next batch boundary with ctx.Err(); a partial
+// replica is never returned.
+func RunReplica(ctx context.Context, cfg TrainConfig, v Variant, replica int) (*RunResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	initS, shuffleS, augS, mode, entropy := SeedsFor(cfg.BaseSeed, v, replica)
 
@@ -107,6 +113,9 @@ func RunReplica(cfg TrainConfig, v Variant, replica int) (*RunResult, error) {
 		var epochLoss float64
 		batches := loader.Epoch(shuffleS.SplitIndex(epoch), augS.SplitIndex(epoch))
 		for _, b := range batches {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			net.ZeroGrad()
 			logits := net.Forward(dev, b.X, true)
 			loss, dlogits := nn.SoftmaxCrossEntropy(dev, logits, b.Labels)
@@ -146,12 +155,14 @@ func Predict(net *nn.Sequential, dev *device.Device, d *data.Dataset, sp *data.S
 // construction — each derives its own seed policy from (BaseSeed, variant,
 // replica index) via SeedsFor and owns its network, optimizer and simulated
 // device — so the parallel schedule is bit-identical to a sequential loop.
-func RunVariant(cfg TrainConfig, v Variant, replicas int) ([]*RunResult, error) {
+// Cancelling ctx aborts every in-flight replica at its next batch boundary
+// and RunVariant returns an error wrapping ctx.Err().
+func RunVariant(ctx context.Context, cfg TrainConfig, v Variant, replicas int) ([]*RunResult, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("core: need at least one replica, got %d", replicas)
 	}
-	return sched.Map(replicas, func(r int) (*RunResult, error) {
-		res, err := RunReplica(cfg, v, r)
+	return sched.Map(ctx, replicas, func(r int) (*RunResult, error) {
+		res, err := RunReplica(ctx, cfg, v, r)
 		if err != nil {
 			return nil, fmt.Errorf("core: variant %s replica %d: %w", v, r, err)
 		}

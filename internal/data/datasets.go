@@ -1,5 +1,7 @@
 package data
 
+import "fmt"
+
 // Scale selects how large the synthetic workloads are. The paper's
 // quantities are all relative (stddevs, churn fractions, overhead ratios),
 // so the experiment shape survives scaling; smaller scales exist so the
@@ -25,6 +27,20 @@ func (s Scale) String() string {
 	default:
 		return "full"
 	}
+}
+
+// ParseScale is the inverse of String: it maps a scale name from a CLI
+// flag or API request body onto its Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "test":
+		return ScaleTest, nil
+	case "quick":
+		return ScaleQuick, nil
+	case "full":
+		return ScaleFull, nil
+	}
+	return 0, fmt.Errorf("data: unknown scale %q (test, quick or full)", name)
 }
 
 func (s Scale) pick(test, quick, full int) int {

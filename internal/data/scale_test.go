@@ -1,0 +1,22 @@
+package data
+
+import "testing"
+
+// TestParseScaleRoundTrip pins ParseScale as the exact inverse of
+// Scale.String for every scale, plus rejection of unknown names.
+func TestParseScaleRoundTrip(t *testing.T) {
+	for _, s := range []Scale{ScaleTest, ScaleQuick, ScaleFull} {
+		got, err := ParseScale(s.String())
+		if err != nil {
+			t.Fatalf("ParseScale(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseScale(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	for _, bad := range []string{"", "gigantic", "Test", "QUICK", "test "} {
+		if _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) accepted", bad)
+		}
+	}
+}

@@ -3,12 +3,14 @@
 // populations its artifact needs — caching replica populations so that
 // figures sharing a workload (e.g. Figure 1, Figure 4 and Table 2 all use
 // ResNet-18 on V100) train them only once — and renders the same rows or
-// series the paper reports.
+// series the paper reports as a typed report.Result.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/report"
@@ -44,27 +46,136 @@ func (c Config) replicas() int {
 	}
 }
 
-// Runner produces the tables for one paper artifact.
-type Runner func(cfg Config) ([]*report.Table, error)
+// EffectiveReplicas resolves the replica count, applying the scale default
+// when Replicas is zero. Cache keys (the population cache, the serve
+// layer's result keys) are built from this resolved value so equivalent
+// configurations collide.
+func (c Config) EffectiveReplicas() int { return c.replicas() }
 
-// registry maps experiment IDs (table2, fig5, ...) to runners.
-var registry = map[string]Runner{}
+// Echo returns the self-describing form of the configuration embedded in
+// every Result.
+func (c Config) Echo() report.ConfigEcho {
+	return report.ConfigEcho{Scale: c.Scale.String(), Replicas: c.replicas(), Seed: c.Seed}
+}
 
-// register wires an experiment ID to its runner at init time.
-func register(id string, r Runner) {
-	if _, dup := registry[id]; dup {
-		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+// Relative experiment cost classes surfaced by `nnrand list` and the
+// serve API so callers know what they are about to pay for.
+const (
+	// CostNone marks experiments with no training (dataset stats, profiling).
+	CostNone = "none"
+	// CostLight trains a handful of small populations.
+	CostLight = "light"
+	// CostMedium trains several populations or long schedules.
+	CostMedium = "medium"
+	// CostHeavy trains a full hardware x task x variant grid.
+	CostHeavy = "heavy"
+)
+
+// Meta describes a registered experiment: which paper artifact it
+// reproduces, what it trains, and roughly what it costs.
+type Meta struct {
+	// ID is the registry key ("table2", "fig5", ...).
+	ID string `json:"id"`
+	// Title is the human headline, matching the artifact's table title.
+	Title string `json:"title"`
+	// Artifact says whether the paper artifact is a table or a figure.
+	Artifact report.ArtifactKind `json:"artifact"`
+	// Workloads lists the dataset/model recipes the experiment trains or
+	// profiles (empty for pure dataset statistics).
+	Workloads []string `json:"workloads,omitempty"`
+	// Cost is the relative cost class: none, light, medium or heavy.
+	Cost string `json:"cost"`
+}
+
+// Runner produces the typed result for one paper artifact. Cancelling ctx
+// aborts any in-flight training at the next batch boundary and the runner
+// returns an error wrapping ctx.Err().
+type Runner func(ctx context.Context, cfg Config) (*report.Result, error)
+
+// tableRunner is the internal harness shape: it renders the artifact's
+// tables and leaves result assembly (timing, config echo, metadata) to the
+// registry wrapper.
+type tableRunner func(ctx context.Context, cfg Config) ([]*report.Table, error)
+
+type experiment struct {
+	meta Meta
+	run  tableRunner
+}
+
+// registry maps experiment IDs (table2, fig5, ...) to harnesses.
+var registry = map[string]experiment{}
+
+// register wires an experiment's metadata and harness at init time.
+func register(meta Meta, run tableRunner) {
+	if meta.ID == "" || meta.Title == "" {
+		panic(fmt.Sprintf("experiments: %q registered without complete metadata", meta.ID))
 	}
-	registry[id] = r
+	if meta.Artifact != report.KindTable && meta.Artifact != report.KindFigure {
+		panic(fmt.Sprintf("experiments: %s has invalid artifact kind %q", meta.ID, meta.Artifact))
+	}
+	if _, dup := registry[meta.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", meta.ID))
+	}
+	registry[meta.ID] = experiment{meta: meta, run: run}
+}
+
+// wrap turns an internal harness into the public Runner: it times the run
+// and assembles the typed Result envelope.
+func (e experiment) wrap() Runner {
+	return func(ctx context.Context, cfg Config) (*report.Result, error) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		start := time.Now()
+		tables, err := e.run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.meta.ID, err)
+		}
+		return &report.Result{
+			Experiment:      e.meta.ID,
+			Title:           e.meta.Title,
+			Kind:            e.meta.Artifact,
+			Config:          cfg.Echo(),
+			WallTimeSeconds: time.Since(start).Seconds(),
+			Tables:          tables,
+		}, nil
+	}
 }
 
 // Get returns the runner for an experiment ID.
 func Get(id string) (Runner, error) {
-	r, ok := registry[id]
+	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r, nil
+	return e.wrap(), nil
+}
+
+// Run looks up and runs one experiment in a single call.
+func Run(ctx context.Context, id string, cfg Config) (*report.Result, error) {
+	r, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(ctx, cfg)
+}
+
+// Describe returns the metadata for an experiment ID.
+func Describe(id string) (Meta, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Meta{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e.meta, nil
+}
+
+// All lists every registered experiment's metadata in ID order.
+func All() []Meta {
+	out := make([]Meta, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id].meta)
+	}
+	return out
 }
 
 // IDs lists every registered experiment in sorted order.

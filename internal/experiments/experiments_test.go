@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/report"
 )
 
 // testCfg keeps training-backed experiments affordable in unit tests.
@@ -15,23 +17,28 @@ func testCfg() Config {
 
 func run(t *testing.T, id string, cfg Config) []*reportTable {
 	t.Helper()
-	r, err := Get(id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tables, err := r(cfg)
+	res, err := Run(context.Background(), id, cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
-	if len(tables) == 0 {
+	if res.Experiment != id {
+		t.Fatalf("result echoes experiment %q, want %q", res.Experiment, id)
+	}
+	if res.Config.Scale != cfg.Scale.String() || res.Config.Replicas != cfg.replicas() || res.Config.Seed != cfg.Seed {
+		t.Fatalf("%s: config echo %+v does not match %+v", id, res.Config, cfg)
+	}
+	if res.Kind != report.KindTable && res.Kind != report.KindFigure {
+		t.Fatalf("%s: result kind %q", id, res.Kind)
+	}
+	if len(res.Tables) == 0 {
 		t.Fatalf("%s returned no tables", id)
 	}
-	out := make([]*reportTable, len(tables))
-	for i, tb := range tables {
+	out := make([]*reportTable, len(res.Tables))
+	for i, tb := range res.Tables {
 		if len(tb.Rows) == 0 {
 			t.Fatalf("%s table %q has no rows", id, tb.Title)
 		}
-		out[i] = &reportTable{Title: tb.Title, Headers: tb.Headers, Rows: tb.Rows}
+		out[i] = &reportTable{Title: tb.Title, Headers: tb.Headers, Rows: tb.TextRows()}
 	}
 	return out
 }
@@ -74,6 +81,41 @@ func TestRegistryComplete(t *testing.T) {
 func TestGetUnknown(t *testing.T) {
 	if _, err := Get("fig99"); err == nil {
 		t.Fatal("unknown experiment did not error")
+	}
+	if _, err := Describe("fig99"); err == nil {
+		t.Fatal("unknown experiment did not error from Describe")
+	}
+}
+
+// TestRegistryMetadataComplete asserts every registered experiment carries
+// full metadata: a title, a valid artifact kind, and a cost class. The
+// serve API and `nnrand list` both surface these fields.
+func TestRegistryMetadataComplete(t *testing.T) {
+	all := All()
+	if len(all) != len(IDs()) {
+		t.Fatalf("All() lists %d experiments, registry has %d", len(all), len(IDs()))
+	}
+	validCost := map[string]bool{CostNone: true, CostLight: true, CostMedium: true, CostHeavy: true}
+	for _, m := range all {
+		if m.ID == "" || m.Title == "" {
+			t.Errorf("experiment %q has an empty title", m.ID)
+		}
+		if m.Artifact != report.KindTable && m.Artifact != report.KindFigure {
+			t.Errorf("experiment %s has invalid artifact kind %q", m.ID, m.Artifact)
+		}
+		if !validCost[m.Cost] {
+			t.Errorf("experiment %s has invalid cost %q", m.ID, m.Cost)
+		}
+		if strings.HasPrefix(m.ID, "table") && m.Artifact != report.KindTable {
+			t.Errorf("experiment %s is kind %q, want table", m.ID, m.Artifact)
+		}
+		if strings.HasPrefix(m.ID, "fig") && m.Artifact != report.KindFigure {
+			t.Errorf("experiment %s is kind %q, want figure", m.ID, m.Artifact)
+		}
+		got, err := Describe(m.ID)
+		if err != nil || got.Title != m.Title {
+			t.Errorf("Describe(%s) = %+v, %v", m.ID, got, err)
+		}
 	}
 }
 
@@ -193,7 +235,7 @@ func TestFig2BatchNormCurbsNoise(t *testing.T) {
 		t.Fatalf("fig2 rows: %d", len(tb.Rows))
 	}
 	parse := func(r, c int) float64 {
-		v, err := strconv.ParseFloat(tb.cell(r, c), 64)
+		v, err := strconv.ParseFloat(strings.TrimSuffix(tb.cell(r, c), "%"), 64)
 		if err != nil {
 			t.Fatalf("cell (%d,%d) = %q", r, c, tb.cell(r, c))
 		}
@@ -224,7 +266,7 @@ func TestFig6DataOrderChurnPositiveEvenFullBatch(t *testing.T) {
 		t.Fatalf("fig6 rows: %d", len(tb.Rows))
 	}
 	for r := range tb.Rows {
-		churn, err := strconv.ParseFloat(tb.cell(r, 1), 64)
+		churn, err := strconv.ParseFloat(strings.TrimSuffix(tb.cell(r, 1), "%"), 64)
 		if err != nil {
 			t.Fatal(err)
 		}

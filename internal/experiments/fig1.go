@@ -1,22 +1,48 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/report"
 )
 
+// Artifact titles, declared once so the registry metadata and the
+// rendered tables can never drift apart.
+const (
+	fig1Title  = "Figure 1: impact of noise source by task (V100)"
+	fig9Title  = "Figure 9: impact of noise source by task (P100)"
+	fig10Title = "Figure 10: impact of noise source by task (RTX5000)"
+)
+
 func init() {
-	register("fig1", func(cfg Config) ([]*report.Table, error) {
-		return noiseComparison(cfg, "Figure 1: impact of noise source by task (V100)", device.V100, fig1Tasks)
+	register(Meta{
+		ID:        "fig1",
+		Title:     fig1Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(fig1Tasks...),
+		Cost:      CostHeavy,
+	}, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
+		return noiseComparison(ctx, cfg, fig1Title, device.V100, fig1Tasks)
 	})
-	register("fig9", func(cfg Config) ([]*report.Table, error) {
-		return noiseComparison(cfg, "Figure 9: impact of noise source by task (P100)", device.P100, fig1Tasks[:3])
+	register(Meta{
+		ID:        "fig9",
+		Title:     fig9Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(fig1Tasks[:3]...),
+		Cost:      CostHeavy,
+	}, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
+		return noiseComparison(ctx, cfg, fig9Title, device.P100, fig1Tasks[:3])
 	})
-	register("fig10", func(cfg Config) ([]*report.Table, error) {
-		return noiseComparison(cfg, "Figure 10: impact of noise source by task (RTX5000)", device.RTX5000, fig1Tasks[:3])
+	register(Meta{
+		ID:        "fig10",
+		Title:     fig10Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(fig1Tasks[:3]...),
+		Cost:      CostHeavy,
+	}, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
+		return noiseComparison(ctx, cfg, fig10Title, device.RTX5000, fig1Tasks[:3])
 	})
 }
 
@@ -24,7 +50,7 @@ func init() {
 // each task × variant cell of the grid summarizes an independently trained
 // replica population. Cells train concurrently on the sched pool; rows are
 // emitted in grid order regardless of completion order.
-func noiseComparison(cfg Config, title string, dev device.Config, tasks []taskSpec) ([]*report.Table, error) {
+func noiseComparison(ctx context.Context, cfg Config, title string, dev device.Config, tasks []taskSpec) ([]*report.Table, error) {
 	tb := report.New(title,
 		"task", "variant", "acc(%)", "stddev(acc)", "churn(%)", "l2")
 	var cells []gridCell
@@ -33,17 +59,17 @@ func noiseComparison(cfg Config, title string, dev device.Config, tasks []taskSp
 			cells = append(cells, gridCell{task, dev, v})
 		}
 	}
-	stats, err := stabilityGrid(cfg, cells)
+	stats, err := stabilityGrid(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
 	for i, c := range cells {
 		st := stats[i]
-		tb.AddStrings(c.task.name, c.v.String(),
-			fmt.Sprintf("%.2f", st.AccMean),
-			fmt.Sprintf("%.3f", st.AccStd),
-			fmt.Sprintf("%.2f", st.Churn),
-			fmt.Sprintf("%.3f", st.L2))
+		tb.AddCells(report.Str(c.task.name), report.Str(c.v.String()),
+			report.Float(st.AccMean, 2).WithUnit("%"),
+			report.Float(st.AccStd, 3),
+			report.Float(st.Churn, 2).WithUnit("%"),
+			report.Float(st.L2, 3))
 	}
 	return []*report.Table{tb}, nil
 }

@@ -1,22 +1,41 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/report"
 )
 
+// Artifact titles, declared once so the registry metadata and the
+// rendered tables can never drift apart.
+const (
+	fig2Title = "Figure 2: model design (batch norm) amplifies or curbs noise (SmallCNN, CIFAR-10-like, V100)"
+	fig4Title = "Figure 4: per-class accuracy variance vs overall (ResNet18, V100)"
+)
+
 func init() {
-	register("fig2", runFig2)
-	register("fig4", runFig4)
+	register(Meta{
+		ID:        "fig2",
+		Title:     fig2Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(taskSmallCNNC10, taskSmallCNNC10BN),
+		Cost:      CostMedium,
+	}, runFig2)
+	register(Meta{
+		ID:        "fig4",
+		Title:     fig4Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(taskResNet18C10, taskResNet18C100),
+		Cost:      CostHeavy,
+	}, runFig4)
 }
 
 // runFig2 reproduces Figure 2: batch normalization curbs the impact of
 // every noise source on the small CNN.
-func runFig2(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Figure 2: model design (batch norm) amplifies or curbs noise (SmallCNN, CIFAR-10-like, V100)",
+func runFig2(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(fig2Title,
 		"batchnorm", "variant", "stddev(acc)", "churn(%)", "l2")
 	var cells []gridCell
 	var labels []string
@@ -30,24 +49,24 @@ func runFig2(cfg Config) ([]*report.Table, error) {
 			labels = append(labels, label)
 		}
 	}
-	stats, err := stabilityGrid(cfg, cells)
+	stats, err := stabilityGrid(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
 	for i, c := range cells {
 		st := stats[i]
-		tb.AddStrings(labels[i], c.v.String(),
-			fmt.Sprintf("%.3f", st.AccStd),
-			fmt.Sprintf("%.2f", st.Churn),
-			fmt.Sprintf("%.3f", st.L2))
+		tb.AddCells(report.Str(labels[i]), report.Str(c.v.String()),
+			report.Float(st.AccStd, 3),
+			report.Float(st.Churn, 2).WithUnit("%"),
+			report.Float(st.L2, 3))
 	}
 	return []*report.Table{tb}, nil
 }
 
 // runFig4 reproduces Figure 4: per-class accuracy variance versus overall
 // accuracy variance for ResNet-18 on the CIFAR-like datasets.
-func runFig4(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Figure 4: per-class accuracy variance vs overall (ResNet18, V100)",
+func runFig4(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(fig4Title,
 		"dataset", "variant", "stddev(acc)", "max per-class stddev", "ratio")
 	var cells []gridCell
 	for _, task := range []taskSpec{taskResNet18C10, taskResNet18C100} {
@@ -55,7 +74,7 @@ func runFig4(cfg Config) ([]*report.Table, error) {
 			cells = append(cells, gridCell{task, device.V100, v})
 		}
 	}
-	stats, err := stabilityGrid(cfg, cells)
+	stats, err := stabilityGrid(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +84,10 @@ func runFig4(cfg Config) ([]*report.Table, error) {
 		if st.AccStd > 0 {
 			ratio = st.MaxPerClassStd / st.AccStd
 		}
-		tb.AddStrings(c.task.name, c.v.String(),
-			fmt.Sprintf("%.3f", st.AccStd),
-			fmt.Sprintf("%.3f", st.MaxPerClassStd),
-			fmt.Sprintf("%.1fX", ratio))
+		tb.AddCells(report.Str(c.task.name), report.Str(c.v.String()),
+			report.Float(st.AccStd, 3),
+			report.Float(st.MaxPerClassStd, 3),
+			report.Float(ratio, 1).WithUnit("X"))
 	}
 	return []*report.Table{tb}, nil
 }

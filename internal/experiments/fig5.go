@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -10,16 +11,35 @@ import (
 	"repro/internal/sched"
 )
 
+// Artifact titles, declared once so the registry metadata and the
+// rendered tables can never drift apart.
+const (
+	fig5Title = "Figure 5: stability by accelerator (ResNet18, CIFAR-100-like)"
+	fig6Title = "Figure 6: data input order alone breaks determinism on TPU (SmallCNN)"
+)
+
 func init() {
-	register("fig5", runFig5)
-	register("fig6", runFig6)
+	register(Meta{
+		ID:        "fig5",
+		Title:     fig5Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(taskResNet18C100),
+		Cost:      CostHeavy,
+	}, runFig5)
+	register(Meta{
+		ID:        "fig6",
+		Title:     fig6Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(taskSmallCNNC10),
+		Cost:      CostMedium,
+	}, runFig6)
 }
 
 // runFig5 reproduces Figure 5: ResNet-18 / CIFAR-100-like across the
 // accelerator catalog — CUDA-core GPUs with different core counts, Tensor
 // Cores, and the systolic TPU.
-func runFig5(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Figure 5: stability by accelerator (ResNet18, CIFAR-100-like)",
+func runFig5(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(fig5Title,
 		"accelerator", "variant", "stddev(acc)", "churn(%)", "l2")
 	devices := []device.Config{device.P100, device.V100, device.RTX5000, device.RTX5000TC, device.TPUv2}
 	var cells []gridCell
@@ -28,16 +48,16 @@ func runFig5(cfg Config) ([]*report.Table, error) {
 			cells = append(cells, gridCell{taskResNet18C100, dev, v})
 		}
 	}
-	stats, err := stabilityGrid(cfg, cells)
+	stats, err := stabilityGrid(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
 	for i, c := range cells {
 		st := stats[i]
-		tb.AddStrings(c.dev.Name, c.v.String(),
-			fmt.Sprintf("%.3f", st.AccStd),
-			fmt.Sprintf("%.2f", st.Churn),
-			fmt.Sprintf("%.3f", st.L2))
+		tb.AddCells(report.Str(c.dev.Name), report.Str(c.v.String()),
+			report.Float(st.AccStd, 3),
+			report.Float(st.Churn, 2).WithUnit("%"),
+			report.Float(st.L2, 3))
 	}
 	return []*report.Table{tb}, nil
 }
@@ -45,13 +65,13 @@ func runFig5(cfg Config) ([]*report.Table, error) {
 // runFig6 reproduces Figure 6: on the deterministic TPU, varying only the
 // data order still produces predictive divergence at every batch size —
 // including full batch, where all models "should" mathematically agree.
-func runFig6(cfg Config) ([]*report.Table, error) {
+func runFig6(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	ds := datasetCached(taskSmallCNNC10.name, cfg.Scale, taskSmallCNNC10.dataset)
 	n := ds.Train.N()
 	batches := []int{n / 15, n / 4, n} // small, medium, full batch
-	tb := report.New("Figure 6: data input order alone breaks determinism on TPU (SmallCNN)",
+	tb := report.New(fig6Title,
 		"batch size", "churn(%)", "stddev(acc)")
-	stats, err := sched.Map(len(batches), func(i int) (core.Stability, error) {
+	stats, err := sched.Map(ctx, len(batches), func(i int) (core.Stability, error) {
 		b := batches[i]
 		task := taskSmallCNNC10
 		task.name = fmt.Sprintf("%s/batch%d", task.name, b)
@@ -63,7 +83,7 @@ func runFig6(cfg Config) ([]*report.Table, error) {
 		// budget is generous for noise to amplify).
 		task.lr = 0.06
 		task.epochs = [3]int{100, 140, 200}
-		results, dsUsed, err := population(cfg, task, device.TPUv2, core.DataOrderOnly)
+		results, dsUsed, err := population(ctx, cfg, task, device.TPUv2, core.DataOrderOnly)
 		if err != nil {
 			return core.Stability{}, err
 		}
@@ -73,9 +93,9 @@ func runFig6(cfg Config) ([]*report.Table, error) {
 		return nil, err
 	}
 	for i, b := range batches {
-		tb.AddStrings(fmt.Sprintf("%d", b),
-			fmt.Sprintf("%.2f", stats[i].Churn),
-			fmt.Sprintf("%.3f", stats[i].AccStd))
+		tb.AddCells(report.Int(b),
+			report.Float(stats[i].Churn, 2).WithUnit("%"),
+			report.Float(stats[i].AccStd, 3))
 	}
 	return []*report.Table{tb}, nil
 }

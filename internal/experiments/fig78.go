@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
@@ -10,16 +11,41 @@ import (
 	"repro/internal/sched"
 )
 
+// Artifact titles, declared once so the registry metadata and the
+// rendered tables can never drift apart.
+const (
+	fig8aTitle = "Figure 8a: normalized deterministic execution GPU time across networks"
+	fig8bTitle = "Figure 8b: normalized deterministic GPU time vs conv kernel size (medium CNN)"
+)
+
 func init() {
-	register("fig7", runFig7)
-	register("fig8a", runFig8a)
-	register("fig8b", runFig8b)
+	register(Meta{
+		ID:        "fig7",
+		Title:     "Figure 7: top-20 GPU kernels by cumulative time, TF default vs deterministic mode (V100)",
+		Artifact:  report.KindFigure,
+		Workloads: []string{"VGG19", "InceptionV3"},
+		Cost:      CostNone,
+	}, runFig7)
+	register(Meta{
+		ID:        "fig8a",
+		Title:     fig8aTitle,
+		Artifact:  report.KindFigure,
+		Workloads: []string{"profiling zoo (10 networks)"},
+		Cost:      CostNone,
+	}, runFig8a)
+	register(Meta{
+		ID:        "fig8b",
+		Title:     fig8bTitle,
+		Artifact:  report.KindFigure,
+		Workloads: []string{"MediumCNN"},
+		Cost:      CostNone,
+	}, runFig8b)
 }
 
 // runFig7 reproduces Figure 7: the top-20 GPU kernels by cumulative time
 // for VGG-19 and InceptionV3 in TF-default versus TF-deterministic mode,
 // showing deterministic mode's skew toward a narrow kernel set.
-func runFig7(cfg Config) ([]*report.Table, error) {
+func runFig7(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	type cell struct {
 		g    *models.Graph
 		mode device.Mode
@@ -30,7 +56,7 @@ func runFig7(cfg Config) ([]*report.Table, error) {
 			cells = append(cells, cell{g, mode})
 		}
 	}
-	return sched.Map(len(cells), func(i int) (*report.Table, error) {
+	return sched.Map(ctx, len(cells), func(i int) (*report.Table, error) {
 		g, mode := cells[i].g, cells[i].mode
 		p, err := profile.Graph(g, device.ArchVolta, mode, profile.Options{})
 		if err != nil {
@@ -41,9 +67,9 @@ func runFig7(cfg Config) ([]*report.Table, error) {
 				g.Name, mode, p.Batch, p.Steps),
 			"kernel", "cumulative time (ms)", "share")
 		for _, k := range p.TopK(20) {
-			tb.AddStrings(k.Name,
-				fmt.Sprintf("%.1f", k.Millis),
-				fmt.Sprintf("%.1f%%", 100*k.Millis/p.Total))
+			tb.AddCells(report.Str(k.Name),
+				report.Float(k.Millis, 1),
+				report.Float(100*k.Millis/p.Total, 1).WithUnit("%"))
 		}
 		return tb, nil
 	})
@@ -51,19 +77,19 @@ func runFig7(cfg Config) ([]*report.Table, error) {
 
 // runFig8a reproduces Figure 8a: deterministic-mode GPU time relative to
 // default mode for the ten profiled networks on P100, V100 and T4.
-func runFig8a(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Figure 8a: normalized deterministic execution GPU time across networks",
+func runFig8a(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(fig8aTitle,
 		"network", "P100", "V100", "T4")
 	zoo := models.Zoo()
-	rows, err := sched.Map(len(zoo), func(i int) ([]string, error) {
+	rows, err := sched.Map(ctx, len(zoo), func(i int) ([]report.Cell, error) {
 		g := zoo[i]
-		row := []string{g.Name}
+		row := []report.Cell{report.Str(g.Name)}
 		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
 			ov, err := profile.Overhead(g, arch, profile.Options{})
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.0f%%", 100*ov))
+			row = append(row, report.Float(100*ov, 0).WithUnit("%"))
 		}
 		return row, nil
 	})
@@ -71,27 +97,27 @@ func runFig8a(cfg Config) ([]*report.Table, error) {
 		return nil, err
 	}
 	for _, row := range rows {
-		tb.AddStrings(row...)
+		tb.AddCells(row...)
 	}
 	return []*report.Table{tb}, nil
 }
 
 // runFig8b reproduces Figure 8b: overhead versus convolution kernel size on
 // the six-layer medium CNN.
-func runFig8b(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Figure 8b: normalized deterministic GPU time vs conv kernel size (medium CNN)",
+func runFig8b(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(fig8bTitle,
 		"kernel", "P100", "V100", "T4")
 	kernels := []int{1, 3, 5, 7}
-	rows, err := sched.Map(len(kernels), func(i int) ([]string, error) {
+	rows, err := sched.Map(ctx, len(kernels), func(i int) ([]report.Cell, error) {
 		k := kernels[i]
 		g := models.MediumCNNGraph(k)
-		row := []string{fmt.Sprintf("%d*%d", k, k)}
+		row := []report.Cell{report.Str(fmt.Sprintf("%d*%d", k, k))}
 		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
 			ov, err := profile.Overhead(g, arch, profile.Options{})
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.0f%%", 100*ov))
+			row = append(row, report.Float(100*ov, 0).WithUnit("%"))
 		}
 		return row, nil
 	})
@@ -99,7 +125,7 @@ func runFig8b(cfg Config) ([]*report.Table, error) {
 		return nil, err
 	}
 	for _, row := range rows {
-		tb.AddStrings(row...)
+		tb.AddCells(row...)
 	}
 	return []*report.Table{tb}, nil
 }

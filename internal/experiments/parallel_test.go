@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -30,7 +33,7 @@ func TestPopulationSingleflight(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait() // maximize contention: release everyone at once
-			res, _, err := population(cfg, taskSmallCNNC10, device.V100, core.Control)
+			res, _, err := population(context.Background(), cfg, taskSmallCNNC10, device.V100, core.Control)
 			results[i], errs[i] = res, err
 		}(i)
 	}
@@ -56,11 +59,72 @@ func TestPopulationSingleflight(t *testing.T) {
 	}
 
 	// A second, sequential call is a pure cache hit.
-	if _, _, err := population(cfg, taskSmallCNNC10, device.V100, core.Control); err != nil {
+	if _, _, err := population(context.Background(), cfg, taskSmallCNNC10, device.V100, core.Control); err != nil {
 		t.Fatal(err)
 	}
 	if got := popTrains.Load() - before; got != 1 {
 		t.Fatalf("cache hit retrained: %d trainings", got)
+	}
+}
+
+// TestPopulationWaiterCancellation pins two cancellation properties of the
+// singleflight cache: a waiter whose own context dies stops waiting
+// immediately (without killing the flight), and a caller arriving after an
+// owner-cancelled flight retrains rather than inheriting the stale error.
+func TestPopulationWaiterCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	ResetCache()
+	cfg := testCfg()
+
+	// Owner with a context we cancel mid-training.
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := population(ownerCtx, cfg, taskSmallCNNC10BN, device.V100, core.Control)
+		ownerErr <- err
+	}()
+
+	// Waiter joins the same flight, then its own context is cancelled: it
+	// must return promptly even though the flight keeps running.
+	time.Sleep(20 * time.Millisecond)
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := population(waiterCtx, cfg, taskSmallCNNC10BN, device.V100, core.Control)
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancelWaiter()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled waiter kept blocking on the flight")
+	}
+
+	// Now cancel the owner and confirm its flight aborts.
+	cancelOwner()
+	select {
+	case err := <-ownerErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("owner err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled owner kept training")
+	}
+
+	// A fresh caller with a live context must retrain successfully: the
+	// aborted flight's entry may not poison the cache.
+	res, _, err := population(context.Background(), cfg, taskSmallCNNC10BN, device.V100, core.Control)
+	if err != nil {
+		t.Fatalf("post-cancellation retrain: %v", err)
+	}
+	if len(res) != cfg.replicas() {
+		t.Fatalf("post-cancellation retrain returned %d replicas, want %d", len(res), cfg.replicas())
 	}
 }
 

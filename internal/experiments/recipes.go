@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -113,11 +115,13 @@ var fig1Tasks = []taskSpec{taskSmallCNNC10, taskResNet18C10, taskResNet18C100, t
 // share populations (Figure 1, Figure 4 and Table 2 all train ResNet-18 on
 // V100), so the cache is singleflight-style: the first caller of a key
 // trains the population while every concurrent caller of the same key
-// blocks on the entry's sync.Once and then reads the shared result —
+// blocks on the entry's done channel and then reads the shared result —
 // shared work trains exactly once no matter how many cells race for it.
+// Waiters select on their own context, so a cancelled request stops
+// waiting immediately without disturbing the flight.
 
 type popEntry struct {
-	once    sync.Once
+	done    chan struct{}
 	results []*core.RunResult
 	err     error
 }
@@ -175,37 +179,64 @@ func datasetCached(task string, s data.Scale, gen func(data.Scale) *data.Dataset
 }
 
 // population trains (or fetches from cache) the replica population for one
-// (task, device, variant) cell of an experiment grid. Concurrent calls with
-// the same key train the population exactly once.
-func population(cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+// (task, device, variant) cell of an experiment grid. Concurrent calls
+// with the same key train the population exactly once. If the flight owner
+// is cancelled, callers whose own context is still live transparently
+// retry with a fresh flight, so one aborted request never poisons the
+// result for everyone queued behind it.
+func population(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+	for {
+		results, ds, err := populationFlight(ctx, cfg, t, dev, v)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The owner of the flight we waited on was cancelled; our
+			// context is live, so run (or join) a fresh flight.
+			continue
+		}
+		return results, ds, err
+	}
+}
+
+func populationFlight(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
 	tc, ds := t.trainConfig(cfg, dev)
 	key := fmt.Sprintf("%s|%s|%s|%d|%s|%d", t.name, dev.Name, v, cfg.replicas(), cfg.Scale, cfg.Seed)
 	popMu.Lock()
 	e, ok := popCache[key]
 	if !ok {
-		e = &popEntry{}
+		e = &popEntry{done: make(chan struct{})}
 		popCache[key] = e
 	}
 	popMu.Unlock()
-	e.once.Do(func() {
-		// If training panics, sync.Once still marks the entry done and every
-		// waiter would observe nil results with a nil error. Record the
-		// panic as the flight's error for the waiters, then re-panic so the
-		// flight owner keeps crash semantics.
-		defer func() {
-			if r := recover(); r != nil {
-				e.err = fmt.Errorf("experiments: %s on %s under %s: panic during training: %v", t.name, dev.Name, v, r)
-				panic(r)
-			}
-		}()
-		popTrains.Add(1)
-		results, err := core.RunVariant(tc, v, cfg.replicas())
-		if err != nil {
-			e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
-			return
+
+	if ok {
+		// Someone else owns the flight: wait for it or for our own
+		// cancellation, whichever comes first.
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
 		}
-		e.results = results
-	})
+	} else {
+		// We own the flight. If training panics, record the cause for the
+		// waiters, drop the entry so a retry can rebuild, and keep crash
+		// semantics on this goroutine.
+		func() {
+			defer close(e.done)
+			defer func() {
+				if r := recover(); r != nil {
+					e.err = fmt.Errorf("experiments: %s on %s under %s: panic during training: %v", t.name, dev.Name, v, r)
+					panic(r)
+				}
+			}()
+			popTrains.Add(1)
+			results, err := core.RunVariant(ctx, tc, v, cfg.replicas())
+			if err != nil {
+				e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
+				return
+			}
+			e.results = results
+		}()
+	}
 	if e.err != nil {
 		// Drop the failed entry so a later call can retry (the error is
 		// still returned to everyone who waited on this flight).
@@ -220,8 +251,8 @@ func population(cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*c
 }
 
 // stability trains a population and summarizes it in one call.
-func stability(cfg Config, t taskSpec, dev device.Config, v core.Variant) (core.Stability, error) {
-	results, ds, err := population(cfg, t, dev, v)
+func stability(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) (core.Stability, error) {
+	results, ds, err := population(ctx, cfg, t, dev, v)
 	if err != nil {
 		return core.Stability{}, err
 	}
@@ -237,10 +268,11 @@ type gridCell struct {
 
 // stabilityGrid trains every cell's population concurrently on the sched
 // pool and returns per-cell stability summaries in cell order. Shared
-// populations dedup through the singleflight cache.
-func stabilityGrid(cfg Config, cells []gridCell) ([]core.Stability, error) {
-	return sched.Map(len(cells), func(i int) (core.Stability, error) {
-		return stability(cfg, cells[i].task, cells[i].dev, cells[i].v)
+// populations dedup through the singleflight cache; cancelling ctx aborts
+// in-flight training at the next batch boundary.
+func stabilityGrid(ctx context.Context, cfg Config, cells []gridCell) ([]core.Stability, error) {
+	return sched.Map(ctx, len(cells), func(i int) (core.Stability, error) {
+		return stability(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
 	})
 }
 
@@ -249,4 +281,19 @@ func ResetCache() {
 	popMu.Lock()
 	popCache = map[string]*popEntry{}
 	popMu.Unlock()
+}
+
+// PopulationTrains reports how many populations have actually been trained
+// (cache hits excluded) since process start. The server tests use deltas of
+// this counter to prove that concurrent identical requests train each
+// population exactly once.
+func PopulationTrains() int64 { return popTrains.Load() }
+
+// names collects the workload labels of a task list for registry metadata.
+func names(tasks ...taskSpec) []string {
+	out := make([]string, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.name
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -10,19 +11,44 @@ import (
 	"repro/internal/sched"
 )
 
+// Artifact titles, declared once so the registry metadata and the
+// rendered tables can never drift apart.
+const (
+	table3Title = "Table 3: data point distribution in the CelebA-like dataset (train split)"
+	fig3Title   = "Figure 3: normalized sub-group stddev, ALGO+IMPL (ResNet18, CelebA-like, V100)"
+)
+
 func init() {
-	register("table3", runTable3)
-	register("table5", runTable5)
-	register("fig3", runFig3)
+	register(Meta{
+		ID:        "table3",
+		Title:     table3Title,
+		Artifact:  report.KindTable,
+		Workloads: names(taskCelebA),
+		Cost:      CostNone,
+	}, runTable3)
+	register(Meta{
+		ID:        "table5",
+		Title:     "Table 5: STDDEV of sub-group accuracy/FPR/FNR (ResNet18, CelebA-like, V100)",
+		Artifact:  report.KindTable,
+		Workloads: names(taskCelebA),
+		Cost:      CostMedium,
+	}, runTable5)
+	register(Meta{
+		ID:        "fig3",
+		Title:     fig3Title,
+		Artifact:  report.KindFigure,
+		Workloads: names(taskCelebA),
+		Cost:      CostMedium,
+	}, runFig3)
 }
 
 // runTable3 reproduces Table 3: the CelebA-like attribute imbalance. No
 // training involved — this documents the dataset property that drives the
 // sub-group variance results.
-func runTable3(cfg Config) ([]*report.Table, error) {
+func runTable3(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	ds := datasetCached(taskCelebA.name, cfg.Scale, taskCelebA.dataset)
 	total := float64(ds.Train.N())
-	tb := report.New("Table 3: data point distribution in the CelebA-like dataset (train split)",
+	tb := report.New(table3Title,
 		"group", "positive", "negative")
 	for _, c := range data.CountSubgroups(ds.Train) {
 		tb.AddStrings(c.Group,
@@ -35,13 +61,13 @@ func runTable3(cfg Config) ([]*report.Table, error) {
 // subgroupRows trains the CelebA populations (one per variant,
 // concurrently) and returns the per-variant sub-group stability rows shared
 // by Table 5 and Figure 3.
-func subgroupRows(cfg Config) (map[core.Variant][]core.SubgroupStability, *data.Dataset, error) {
+func subgroupRows(ctx context.Context, cfg Config) (map[core.Variant][]core.SubgroupStability, *data.Dataset, error) {
 	type variantRows struct {
 		rows []core.SubgroupStability
 		ds   *data.Dataset
 	}
-	per, err := sched.Map(len(core.StandardVariants), func(i int) (variantRows, error) {
-		results, d, err := population(cfg, taskCelebA, device.V100, core.StandardVariants[i])
+	per, err := sched.Map(ctx, len(core.StandardVariants), func(i int) (variantRows, error) {
+		results, d, err := population(ctx, cfg, taskCelebA, device.V100, core.StandardVariants[i])
 		if err != nil {
 			return variantRows{}, err
 		}
@@ -59,8 +85,8 @@ func subgroupRows(cfg Config) (map[core.Variant][]core.SubgroupStability, *data.
 
 // runTable5 reproduces Table 5: stddev of sub-group accuracy, FPR and FNR
 // across replicas, with relative scale against the overall dataset.
-func runTable5(cfg Config) ([]*report.Table, error) {
-	rows, _, err := subgroupRows(cfg)
+func runTable5(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	rows, _, err := subgroupRows(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -93,21 +119,21 @@ func runTable5(cfg Config) ([]*report.Table, error) {
 
 // runFig3 reproduces Figure 3: sub-group stddev normalized against the
 // overall dataset for the default (ALGO+IMPL) setting.
-func runFig3(cfg Config) ([]*report.Table, error) {
-	rows, _, err := subgroupRows(cfg)
+func runFig3(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	rows, _, err := subgroupRows(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	tb := report.New("Figure 3: normalized sub-group stddev, ALGO+IMPL (ResNet18, CelebA-like, V100)",
+	tb := report.New(fig3Title,
 		"subgroup", "norm stddev(acc)", "norm stddev(FPR)", "norm stddev(FNR)")
 	for _, s := range rows[core.AlgoImpl] {
 		if s.Group == "All" {
 			continue
 		}
-		tb.AddStrings(s.Group,
-			fmt.Sprintf("%.2fX", s.AccScale),
-			fmt.Sprintf("%.2fX", s.FPRScale),
-			fmt.Sprintf("%.2fX", s.FNRScale))
+		tb.AddCells(report.Str(s.Group),
+			report.Float(s.AccScale, 2).WithUnit("X"),
+			report.Float(s.FPRScale, 2).WithUnit("X"),
+			report.Float(s.FNRScale, 2).WithUnit("X"))
 	}
 	return []*report.Table{tb}, nil
 }

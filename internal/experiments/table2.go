@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,15 +9,34 @@ import (
 	"repro/internal/report"
 )
 
+// Artifact titles, declared once so the registry metadata and the
+// rendered tables can never drift apart.
+const (
+	table2Title = "Table 2: test accuracy ± stddev under each noise variant"
+	table4Title = "Table 4: dataset overview (synthetic stand-ins, see DESIGN.md)"
+)
+
 func init() {
-	register("table2", runTable2)
-	register("table4", runTable4)
+	register(Meta{
+		ID:        "table2",
+		Title:     table2Title,
+		Artifact:  report.KindTable,
+		Workloads: names(fig1Tasks...),
+		Cost:      CostHeavy,
+	}, runTable2)
+	register(Meta{
+		ID:        "table4",
+		Title:     table4Title,
+		Artifact:  report.KindTable,
+		Workloads: names(taskSmallCNNC10, taskResNet18C100, taskResNet50ImageNet, taskCelebA),
+		Cost:      CostNone,
+	}, runTable4)
 }
 
 // runTable2 reproduces Table 2: test-set accuracy ± stddev under each type
 // of noise, for every hardware/task combination the paper trains.
-func runTable2(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Table 2: test accuracy ± stddev under each noise variant",
+func runTable2(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(table2Title,
 		"hardware", "task", "ALGO+IMPL", "ALGO", "IMPL")
 	type block struct {
 		dev   device.Config
@@ -38,30 +58,30 @@ func runTable2(cfg Config) ([]*report.Table, error) {
 			}
 		}
 	}
-	stats, err := stabilityGrid(cfg, cells)
+	stats, err := stabilityGrid(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < len(cells); i += len(core.StandardVariants) {
-		row := make([]string, 0, 3)
+		row := make([]report.Cell, 0, 3)
 		for j := range core.StandardVariants {
 			st := stats[i+j]
-			row = append(row, fmt.Sprintf("%.2f%%±%.2f", st.AccMean, st.AccStd))
+			row = append(row, report.Str(fmt.Sprintf("%.2f%%±%.2f", st.AccMean, st.AccStd)))
 		}
-		tb.AddStrings(cells[i].dev.Name, cells[i].task.name, row[0], row[1], row[2])
+		tb.AddCells(report.Str(cells[i].dev.Name), report.Str(cells[i].task.name), row[0], row[1], row[2])
 	}
 	return []*report.Table{tb}, nil
 }
 
 // runTable4 reproduces Table 4: the dataset overview.
-func runTable4(cfg Config) ([]*report.Table, error) {
-	tb := report.New("Table 4: dataset overview (synthetic stand-ins, see DESIGN.md)",
+func runTable4(ctx context.Context, cfg Config) ([]*report.Table, error) {
+	tb := report.New(table4Title,
 		"dataset", "train/test split", "classes")
 	for _, task := range []taskSpec{taskSmallCNNC10, taskResNet18C100, taskResNet50ImageNet, taskCelebA} {
 		ds := datasetCached(task.name, cfg.Scale, task.dataset)
-		tb.AddStrings(ds.Name,
-			fmt.Sprintf("%d/%d", ds.Train.N(), ds.Test.N()),
-			fmt.Sprintf("%d", ds.Classes))
+		tb.AddCells(report.Str(ds.Name),
+			report.Str(fmt.Sprintf("%d/%d", ds.Train.N(), ds.Test.N())),
+			report.Int(ds.Classes))
 	}
 	return []*report.Table{tb}, nil
 }

@@ -1,6 +1,7 @@
-// Package report renders experiment results as aligned plain-text tables
-// and tab-separated values, mirroring the rows and series of the paper's
-// tables and figures.
+// Package report models experiment results as typed tables inside a
+// Result envelope and renders them as aligned plain text, tab-separated
+// values or schema-stable JSON, mirroring the rows and series of the
+// paper's tables and figures.
 package report
 
 import (
@@ -9,11 +10,11 @@ import (
 	"strings"
 )
 
-// Table is a simple column-aligned table with a title.
+// Table is a column-aligned table with a title and typed cells.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string   `json:"title"`
+	Headers []string `json:"headers"`
+	Rows    [][]Cell `json:"rows"`
 }
 
 // New returns a table with the given title and column headers.
@@ -21,32 +22,60 @@ func New(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// Add appends a row; cells are formatted with %v.
+// Add appends a row of automatically typed cells: float64 becomes a
+// 3-digit float cell, int an integer cell, string a string cell, and a
+// Cell passes through unchanged; anything else is formatted with %v.
 func (t *Table) Add(cells ...any) {
-	row := make([]string, len(cells))
+	row := make([]Cell, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
-		case string:
+		case Cell:
 			row[i] = v
+		case float64:
+			row[i] = Float(v, 3)
+		case int:
+			row[i] = Int(v)
+		case string:
+			row[i] = Str(v)
 		default:
-			row[i] = fmt.Sprint(v)
+			row[i] = Str(fmt.Sprint(v))
 		}
 	}
 	t.Rows = append(t.Rows, row)
 }
 
-// AddStrings appends a pre-formatted row.
-func (t *Table) AddStrings(cells ...string) { t.Rows = append(t.Rows, cells) }
+// AddStrings appends a row of pre-formatted string cells.
+func (t *Table) AddStrings(cells ...string) {
+	row := make([]Cell, len(cells))
+	for i, c := range cells {
+		row[i] = Str(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddCells appends a row of typed cells.
+func (t *Table) AddCells(cells ...Cell) { t.Rows = append(t.Rows, cells) }
+
+// TextRows renders every row to strings, the way the text views show them.
+func (t *Table) TextRows() [][]string {
+	out := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = make([]string, len(row))
+		for c, cell := range row {
+			out[r][c] = cell.Text()
+		}
+	}
+	return out
+}
 
 // Render writes the table to w in aligned text form.
 func (t *Table) Render(w io.Writer) error {
+	rows := t.TextRows()
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
-	for _, row := range t.Rows {
+	for _, row := range rows {
 		for i, c := range row {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -73,7 +102,7 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteString("\n")
-	for _, row := range t.Rows {
+	for _, row := range rows {
 		writeRow(row)
 	}
 	_, err := io.WriteString(w, b.String())
@@ -85,7 +114,7 @@ func (t *Table) RenderTSV(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString(strings.Join(t.Headers, "\t"))
 	b.WriteString("\n")
-	for _, row := range t.Rows {
+	for _, row := range t.TextRows() {
 		b.WriteString(strings.Join(row, "\t"))
 		b.WriteString("\n")
 	}

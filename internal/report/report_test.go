@@ -51,7 +51,7 @@ func TestRenderTSV(t *testing.T) {
 func TestAddStrings(t *testing.T) {
 	tb := New("", "a")
 	tb.AddStrings("pre-formatted")
-	if len(tb.Rows) != 1 || tb.Rows[0][0] != "pre-formatted" {
+	if len(tb.Rows) != 1 || tb.Rows[0][0].Text() != "pre-formatted" {
 		t.Fatalf("rows: %v", tb.Rows)
 	}
 }

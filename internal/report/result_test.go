@@ -1,0 +1,171 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCellText(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want string
+	}{
+		{Str("ALGO"), "ALGO"},
+		{Float(3.14159, 2), "3.14"},
+		{Float(61.333333, 2).WithUnit("%"), "61.33%"},
+		{Float(2.049, 1).WithUnit("X"), "2.0X"},
+		{Int(128), "128"},
+		{Int(746).WithUnit("%"), "746%"},
+	}
+	for _, c := range cases {
+		if got := c.cell.Text(); got != c.want {
+			t.Errorf("Text(%+v) = %q, want %q", c.cell, got, c.want)
+		}
+	}
+}
+
+func TestCellJSONRoundTrip(t *testing.T) {
+	cells := []Cell{Str("x"), Float(1.2345, 3).WithUnit("%"), Int(-7)}
+	for _, c := range cells {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Cell
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		// The wire value is rounded to display precision, so comparing the
+		// rendered text is the invariant that must hold.
+		if back.Text() != c.Text() {
+			t.Fatalf("round trip %s: text %q != %q", b, back.Text(), c.Text())
+		}
+		if back.Kind != c.Kind || back.Unit != c.Unit {
+			t.Fatalf("round trip %s: kind/unit changed: %+v vs %+v", b, back, c)
+		}
+	}
+}
+
+func TestCellUnknownTypeRejected(t *testing.T) {
+	var c Cell
+	if err := json.Unmarshal([]byte(`{"type":"blob","value":1}`), &c); err == nil {
+		t.Fatal("unknown cell type accepted")
+	}
+}
+
+// TestResultJSONGolden pins the exact wire format of a rendered Result.
+// Any change to this document is a breaking change for API consumers and
+// must be deliberate.
+func TestResultJSONGolden(t *testing.T) {
+	tb := New("Figure X: demo", "task", "acc", "churn")
+	tb.AddCells(Str("SmallCNN"), Float(61.5, 2).WithUnit("%"), Float(3.125, 3))
+	tb.AddCells(Str("ResNet18"), Float(70, 2).WithUnit("%"), Int(0))
+	res := &Result{
+		Experiment:      "figX",
+		Title:           "Figure X: demo",
+		Kind:            KindFigure,
+		Config:          ConfigEcho{Scale: "test", Replicas: 2, Seed: 42},
+		WallTimeSeconds: 1.5,
+		Tables:          []*Table{tb},
+	}
+	var b strings.Builder
+	if err := res.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "experiment": "figX",
+  "title": "Figure X: demo",
+  "kind": "figure",
+  "config": {
+    "scale": "test",
+    "replicas": 2,
+    "seed": 42
+  },
+  "wall_time_seconds": 1.5,
+  "tables": [
+    {
+      "title": "Figure X: demo",
+      "headers": [
+        "task",
+        "acc",
+        "churn"
+      ],
+      "rows": [
+        [
+          {
+            "type": "string",
+            "value": "SmallCNN"
+          },
+          {
+            "type": "float",
+            "value": 61.50,
+            "unit": "%"
+          },
+          {
+            "type": "float",
+            "value": 3.125
+          }
+        ],
+        [
+          {
+            "type": "string",
+            "value": "ResNet18"
+          },
+          {
+            "type": "float",
+            "value": 70.00,
+            "unit": "%"
+          },
+          {
+            "type": "int",
+            "value": 0
+          }
+        ]
+      ]
+    }
+  ]
+}
+`
+	if b.String() != golden {
+		t.Fatalf("JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestResultJSONMatchesText asserts the acceptance property: the JSON view
+// carries the same values as the text table, digit for digit.
+func TestResultJSONMatchesText(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.AddCells(Float(97.19999, 2), Float(0.1049, 3))
+	var buf strings.Builder
+	if err := (&Result{Tables: []*Table{tb}}).RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Tables[0].TextRows()
+	want := tb.TextRows()
+	for r := range want {
+		for c := range want[r] {
+			if got[r][c] != want[r][c] {
+				t.Fatalf("cell (%d,%d): JSON %q != text %q", r, c, got[r][c], want[r][c])
+			}
+		}
+	}
+}
+
+func TestRenderJSONResultsIsArray(t *testing.T) {
+	var b strings.Builder
+	if err := RenderJSONResults(&b, []*Result{{Experiment: "a"}, {Experiment: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	var arr []Result
+	if err := json.Unmarshal([]byte(b.String()), &arr); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 || arr[0].Experiment != "a" || arr[1].Experiment != "b" {
+		t.Fatalf("array round trip: %+v", arr)
+	}
+}

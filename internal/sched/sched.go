@@ -18,6 +18,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -90,11 +91,17 @@ func (p *PanicError) Error() string {
 // ForEach runs fn(i) for every i in [0, n), distributing indices over the
 // worker budget. It returns the first error observed (remaining indices
 // are skipped once an error is recorded, but in-flight items run to
-// completion). If fn panics, ForEach waits for all workers and then
+// completion). When ctx is cancelled no new indices are claimed and
+// ForEach returns ctx.Err() (unless fn already failed with a different
+// error first); long-running fn bodies should check ctx themselves to
+// abort mid-item. If fn panics, ForEach waits for all workers and then
 // re-panics a *PanicError on the calling goroutine.
-func ForEach(n int, fn func(i int) error) error {
+func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var (
 		state struct {
@@ -125,12 +132,20 @@ func ForEach(n int, fn func(i int) error) error {
 			state.Unlock()
 		}
 	}
-	// next claims the next index, or returns false when work is exhausted
-	// or an error/panic already ended the loop.
+	// next claims the next index, or returns false when work is exhausted,
+	// the context is cancelled, or an error/panic already ended the loop.
+	// Exhaustion is checked before cancellation on purpose: a cancel that
+	// lands after every index has been claimed must not discard work that
+	// is completing anyway (in-flight fn bodies observe ctx themselves if
+	// they care).
 	next := func() (int, bool) {
 		state.Lock()
 		defer state.Unlock()
 		if state.next >= n || state.err != nil || state.panic != nil {
+			return 0, false
+		}
+		if err := ctx.Err(); err != nil {
+			state.err = err
 			return 0, false
 		}
 		i := state.next
@@ -175,11 +190,11 @@ func ForEach(n int, fn func(i int) error) error {
 }
 
 // Map runs fn for every index in [0, n) under the worker budget and
-// returns the results in index order. Error and panic semantics match
-// ForEach.
-func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+// returns the results in index order. Error, cancellation and panic
+// semantics match ForEach.
+func Map[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, func(i int) error {
+	err := ForEach(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,14 +1,16 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
 
 func TestMapOrderedResults(t *testing.T) {
-	got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	got, err := Map(context.Background(), 100, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +23,7 @@ func TestMapOrderedResults(t *testing.T) {
 
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
 	var counts [1000]int32
-	if err := ForEach(len(counts), func(i int) error {
+	if err := ForEach(context.Background(), len(counts), func(i int) error {
 		atomic.AddInt32(&counts[i], 1)
 		return nil
 	}); err != nil {
@@ -37,7 +39,7 @@ func TestForEachRunsEveryIndexOnce(t *testing.T) {
 func TestForEachError(t *testing.T) {
 	sentinel := errors.New("boom")
 	var ran atomic.Int32
-	err := ForEach(1000, func(i int) error {
+	err := ForEach(context.Background(), 1000, func(i int) error {
 		ran.Add(1)
 		if i == 3 {
 			return sentinel
@@ -68,7 +70,7 @@ func TestForEachPanicCaptured(t *testing.T) {
 			t.Fatalf("PanicError = %+v", pe)
 		}
 	}()
-	_ = ForEach(8, func(i int) error {
+	_ = ForEach(context.Background(), 8, func(i int) error {
 		if i == 7 {
 			panic("kaboom")
 		}
@@ -85,8 +87,8 @@ func TestNestedForEachNoDeadlock(t *testing.T) {
 	SetWorkers(2)
 	defer SetWorkers(old)
 	var total atomic.Int32
-	err := ForEach(16, func(i int) error {
-		return ForEach(16, func(j int) error {
+	err := ForEach(context.Background(), 16, func(i int) error {
+		return ForEach(context.Background(), 16, func(j int) error {
 			total.Add(1)
 			return nil
 		})
@@ -112,11 +114,66 @@ func TestSetWorkers(t *testing.T) {
 	}
 }
 
+// TestForEachCancelledBeforeStart pins the fast path: a pre-cancelled
+// context runs nothing and surfaces ctx.Err().
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 100, func(int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran under a cancelled context", ran.Load())
+	}
+}
+
+// TestForEachCancelMidFlight cancels while items are in flight: dispatch
+// must stop claiming new indices and return ctx.Err().
+func TestForEachCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	var once sync.Once
+	err := ForEach(ctx, 1000, func(i int) error {
+		ran.Add(1)
+		once.Do(cancel) // first item cancels everyone else
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+// TestForEachCancelAfterExhaustionKeepsResults pins that a cancellation
+// arriving after every index has been claimed does not turn finished work
+// into an error: `nnrand all` interrupted as the last cell completes must
+// still render, not discard hours of training.
+func TestForEachCancelAfterExhaustionKeepsResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50
+	out, err := Map(ctx, n, func(i int) (int, error) {
+		if i == n-1 {
+			cancel() // cancellation lands as the final item runs
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatalf("completed work discarded: %v", err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+}
+
 func TestMapZeroAndOne(t *testing.T) {
-	if out, err := Map(0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+	if out, err := Map(context.Background(), 0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
 		t.Fatalf("Map(0): %v %v", out, err)
 	}
-	out, err := Map(1, func(int) (string, error) { return "x", nil })
+	out, err := Map(context.Background(), 1, func(int) (string, error) { return "x", nil })
 	if err != nil || len(out) != 1 || out[0] != "x" {
 		t.Fatalf("Map(1): %v %v", out, err)
 	}

@@ -1,0 +1,313 @@
+// Package server exposes the experiment registry as an embeddable
+// HTTP/JSON service — the API boundary that lets dashboards, benchmark
+// harnesses and batch clients consume paper artifacts programmatically
+// instead of scraping CLI text.
+//
+// Endpoints:
+//
+//	GET  /v1/experiments          registry metadata for every experiment
+//	POST /v1/experiments/{id}/run run one experiment (scale/replicas/seed
+//	                              in the JSON body), returning its Result
+//	GET  /v1/results/{key}        re-fetch a completed result from the LRU
+//
+// Concurrent identical run requests collapse into one flight: the first
+// request executes the experiment, later arrivals subscribe to the same
+// flight, and the underlying population cache guarantees each replica
+// population trains exactly once. A flight is cancelled only when every
+// subscribed client has disconnected, so one impatient caller can never
+// abort work that others are still waiting for. Completed results land in
+// a bounded LRU keyed by the canonical (experiment, scale, replicas, seed)
+// tuple.
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// DefaultCacheSize bounds the completed-result LRU when Options.CacheSize
+// is zero.
+const DefaultCacheSize = 64
+
+// RunFunc executes one experiment. Tests substitute stubs; production
+// servers use experiments.Run.
+type RunFunc func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the completed-result LRU capacity (0 = DefaultCacheSize).
+	CacheSize int
+	// Run overrides the experiment executor (nil = experiments.Run).
+	Run RunFunc
+}
+
+// Server is the embeddable HTTP/JSON service over the experiment registry.
+type Server struct {
+	run RunFunc
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	results *lruCache
+}
+
+// flight is one in-progress experiment run shared by every concurrent
+// identical request. waiters counts subscribed clients; when it drops to
+// zero before completion the flight's context is cancelled and training
+// aborts at the next batch boundary.
+type flight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	res     *report.Result
+	err     error
+}
+
+// New returns a Server ready to serve via Handler().
+func New(opts Options) *Server {
+	s := &Server{
+		run:     opts.Run,
+		flights: map[string]*flight{},
+		results: newLRU(opts.CacheSize),
+	}
+	if s.run == nil {
+		s.run = func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+			return experiments.Run(ctx, id, cfg)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRun)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler for embedding under any
+// listener, router prefix or test server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RunRequest is the POST /v1/experiments/{id}/run body. Every field is
+// optional; zero values pick the CLI defaults (quick scale, scale-default
+// replicas, the paper seed).
+type RunRequest struct {
+	Scale    string `json:"scale,omitempty"`
+	Replicas int    `json:"replicas,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+}
+
+// RunResponse is the POST /v1/experiments/{id}/run reply.
+type RunResponse struct {
+	// Key addresses the result in GET /v1/results/{key}.
+	Key string `json:"key"`
+	// Cached reports whether the result was served from the completed-result
+	// LRU without running anything.
+	Cached bool           `json:"cached"`
+	Result *report.Result `json:"result"`
+}
+
+// ListResponse is the GET /v1/experiments reply.
+type ListResponse struct {
+	Experiments []experiments.Meta `json:"experiments"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ResultKey is the canonical, URL-safe identity of a run:
+// {id}-{scale}-r{replicas}-s{seed} with the scale-default replica count
+// resolved, so equivalent configurations collide.
+func ResultKey(id string, cfg experiments.Config) string {
+	return fmt.Sprintf("%s-%s-r%d-s%d", id, cfg.Scale, cfg.EffectiveReplicas(), cfg.Seed)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Experiments: experiments.All()})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	res, ok := s.results.get(key)
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no completed result for key %q", key)})
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Key: key, Cached: true, Result: res})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := experiments.Describe(id); err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg, err := parseRunRequest(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := ResultKey(id, cfg)
+
+	s.mu.Lock()
+	if res, ok := s.results.get(key); ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, RunResponse{Key: key, Cached: true, Result: res})
+		return
+	}
+	f, ok := s.flights[key]
+	if ok {
+		f.waiters++
+	} else {
+		ctx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		s.flights[key] = f
+		go s.execute(ctx, f, key, id, cfg)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// This client is gone. Unsubscribe; the last one out cancels the
+		// flight so abandoned work stops burning the pool, and retires it
+		// from the flight table immediately — a client arriving while the
+		// doomed flight is still winding down must start a fresh one, not
+		// inherit its cancellation error.
+		s.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 && s.flights[key] == f {
+			f.cancel()
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if f.err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+			// Only possible when every client (including this one, racing
+			// its own disconnect) abandoned the flight.
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: f.err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Key: key, Result: f.res})
+}
+
+// execute runs the flight and publishes its outcome: the flight entry is
+// retired, a successful result enters the LRU, and done wakes every
+// subscribed request.
+func (s *Server) execute(ctx context.Context, f *flight, key, id string, cfg experiments.Config) {
+	defer f.cancel()
+	res, err := s.run(ctx, id, cfg)
+	s.mu.Lock()
+	f.res, f.err = res, err
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	if err == nil {
+		s.results.add(key, res)
+	}
+	s.mu.Unlock()
+	close(f.done)
+}
+
+func parseRunRequest(body io.Reader) (experiments.Config, error) {
+	cfg := experiments.DefaultConfig()
+	raw, err := io.ReadAll(io.LimitReader(body, 1<<16))
+	if err != nil {
+		return cfg, fmt.Errorf("reading request body: %w", err)
+	}
+	var req RunRequest
+	if len(raw) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return cfg, fmt.Errorf("decoding request body: %w", err)
+		}
+	}
+	if req.Scale != "" {
+		scale, err := data.ParseScale(req.Scale)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scale = scale
+	}
+	if req.Replicas < 0 {
+		return cfg, fmt.Errorf("replicas must be >= 0, got %d", req.Replicas)
+	}
+	cfg.Replicas = req.Replicas
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	return cfg, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// lruCache is a minimal most-recently-used cache of completed results.
+// Callers hold s.mu around every method.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *report.Result
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &lruCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (*report.Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) add(key string, res *report.Result) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for len(c.items) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached results (tests).
+func (c *lruCache) len() int { return len(c.items) }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/data"
@@ -11,21 +12,33 @@ func TestExperimentsListed(t *testing.T) {
 	if len(ids) != 15 {
 		t.Fatalf("Experiments() lists %d artifacts, want 15 (4 tables + 11 figures)", len(ids))
 	}
+	metas := ExperimentList()
+	if len(metas) != len(ids) {
+		t.Fatalf("ExperimentList() lists %d artifacts, want %d", len(metas), len(ids))
+	}
+	for i, m := range metas {
+		if m.ID != ids[i] || m.Title == "" {
+			t.Fatalf("metadata %d = %+v, want id %q with a title", i, m, ids[i])
+		}
+	}
 }
 
 func TestRunExperimentFacade(t *testing.T) {
 	cfg := Config{Scale: data.ScaleTest, Replicas: 2, Seed: 1}
-	tables, err := RunExperiment("table4", cfg)
+	res, err := RunExperiment(context.Background(), "table4", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 1 || len(tables[0].Rows) == 0 {
-		t.Fatalf("table4 facade result: %+v", tables)
+	if res.Experiment != "table4" || len(res.Tables) != 1 || len(res.Tables[0].Rows) == 0 {
+		t.Fatalf("table4 facade result: %+v", res)
+	}
+	if res.Config.Scale != "test" || res.Config.Replicas != 2 || res.Config.Seed != 1 {
+		t.Fatalf("config echo: %+v", res.Config)
 	}
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
-	if _, err := RunExperiment("nope", QuickConfig()); err == nil {
+	if _, err := RunExperiment(context.Background(), "nope", QuickConfig()); err == nil {
 		t.Fatal("unknown experiment did not error")
 	}
 }

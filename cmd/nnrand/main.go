@@ -8,7 +8,11 @@
 //	nnrand [flags] <experiment> [<experiment>...]
 //	nnrand [flags] all
 //	nnrand list
-//	nnrand serve [-addr :8080] [-cache N]
+//	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-jobs N] [-queue N]
+//	nnrand submit [-addr URL] [-scale S] [-replicas N] [-seed N] <experiment>...
+//	nnrand status [-addr URL] <job-id>...
+//	nnrand wait   [-addr URL] [-poll DUR] [-tsv|-json] <job-id>...
+//	nnrand cancel [-addr URL] <job-id>...
 //
 // Flags (accepted before or after the experiment names):
 //
@@ -19,23 +23,31 @@
 //	-tsv                        emit tab-separated values instead of tables
 //	-json                       emit a JSON array of typed results
 //
-// `serve` starts the embeddable HTTP/JSON service (see internal/server):
-// GET /v1/experiments, POST /v1/experiments/{id}/run, GET /v1/results/{key}.
+// `serve` starts the embeddable HTTP/JSON service (see internal/server
+// and docs/api.md); with -store DIR completed results persist across
+// restarts. `submit`, `status`, `wait` and `cancel` are thin clients of
+// a running server's job API: submit returns immediately with job IDs,
+// status polls progress, wait blocks until completion and renders the
+// result, cancel aborts queued or running jobs.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -62,9 +74,10 @@ func run(args []string) error {
 	}
 	// Accept flags before and after positional arguments (`nnrand -json
 	// table2 -scale test` works): re-parse after each positional run. The
-	// serve sub-command owns everything after its name.
+	// serve/submit/status/wait/cancel sub-commands own everything after
+	// their name.
 	var ids []string
-	var serveArgs []string
+	var subArgs []string
 	for {
 		if err := fs.Parse(args); err != nil {
 			return err
@@ -73,8 +86,16 @@ func run(args []string) error {
 		if len(args) == 0 {
 			break
 		}
-		if len(ids) == 0 && args[0] == "serve" {
-			ids, serveArgs = []string{"serve"}, args[1:]
+		if len(ids) == 0 && isSubcommand(args[0]) {
+			// The client sub-commands own their flags; globals given before
+			// the name would be parsed and then silently ignored, so refuse
+			// them instead of running with defaults the user didn't ask for.
+			// (serve keeps the historical behavior: a leading -workers caps
+			// its in-process pool.)
+			if args[0] != "serve" && fs.NFlag() > 0 {
+				return fmt.Errorf("%[1]s: flags must follow the sub-command name, e.g. `nnrand %[1]s -addr ...`", args[0])
+			}
+			ids, subArgs = []string{args[0]}, args[1:]
 			break
 		}
 		ids = append(ids, args[0])
@@ -92,8 +113,17 @@ func run(args []string) error {
 	sched.SetWorkers(*workers)
 	cfg := experiments.Config{Scale: scale, Replicas: *replicas, Seed: *seed}
 
-	if ids[0] == "serve" {
-		return serveCmd(serveArgs)
+	switch ids[0] {
+	case "serve":
+		return serveCmd(subArgs)
+	case "submit":
+		return submitCmd(subArgs)
+	case "status":
+		return statusCmd(subArgs)
+	case "wait":
+		return waitCmd(subArgs)
+	case "cancel":
+		return cancelCmd(subArgs)
 	}
 	if len(ids) == 1 && ids[0] == "list" {
 		return list(os.Stdout)
@@ -190,18 +220,38 @@ func list(w io.Writer) error {
 	return tb.Render(w)
 }
 
+// isSubcommand reports whether the first positional argument names a
+// sub-command that owns the rest of the argument list.
+func isSubcommand(name string) bool {
+	switch name {
+	case "serve", "submit", "status", "wait", "cancel":
+		return true
+	}
+	return false
+}
+
 // serveCmd runs the HTTP/JSON service until the process is interrupted.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("nnrand serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	cache := fs.Int("cache", server.DefaultCacheSize, "completed-result LRU capacity")
+	cache := fs.Int("cache", server.DefaultCacheSize, "completed-result store capacity")
+	store := fs.String("store", "", "directory persisting completed results across restarts (empty = memory only)")
+	jobWorkers := fs.Int("jobs", 0, "concurrent jobs (0 = jobs-package default)")
+	queue := fs.Int("queue", 0, "submitted-job backlog bound (0 = jobs-package default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: server.New(server.Options{CacheSize: *cache}).Handler(),
+	svc, err := server.New(server.Options{
+		CacheSize:  *cache,
+		StoreDir:   *store,
+		Workers:    *jobWorkers,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		return err
 	}
+	defer svc.Close()
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -215,4 +265,225 @@ func serveCmd(args []string) error {
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	}
+}
+
+// apiClient is the thin HTTP client behind submit/status/wait/cancel.
+type apiClient struct {
+	base string
+	http *http.Client
+}
+
+func newClient(addr string) *apiClient {
+	return &apiClient{base: strings.TrimRight(addr, "/"), http: &http.Client{}}
+}
+
+// do issues one request and decodes the JSON reply into out (unless nil).
+// Non-2xx replies are surfaced as errors carrying the server's message.
+func (c *apiClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// printSnapshot writes one job's status line: ID, state, progress,
+// result key.
+func printSnapshot(w io.Writer, snap jobs.Snapshot) {
+	line := fmt.Sprintf("%s\t%s", snap.ID, snap.State)
+	if snap.Progress.Total > 0 {
+		line += fmt.Sprintf("\t%d/%d cells", snap.Progress.Done, snap.Progress.Total)
+	}
+	if snap.Cached {
+		line += "\tcached"
+	}
+	if snap.Error != nil {
+		line += "\t" + snap.Error.Message
+	}
+	fmt.Fprintf(w, "%s\t%s\n", line, snap.Key)
+}
+
+// submitCmd posts one job per experiment and prints the job IDs without
+// waiting — the submit half of the submit/poll/fetch workflow.
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand submit", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	scaleFlag := fs.String("scale", "quick", "workload scale: test, quick or full")
+	replicas := fs.Int("replicas", 0, "replicas per variant (0 = scale default)")
+	seed := fs.Uint64("seed", 20220622, "base seed for all seed policies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("submit: no experiment given")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := newClient(*addr)
+	for _, id := range dedup(fs.Args()) {
+		var snap jobs.Snapshot
+		req := server.SubmitRequest{
+			Experiment: id,
+			RunRequest: server.RunRequest{Scale: *scaleFlag, Replicas: *replicas, Seed: *seed},
+		}
+		if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &snap); err != nil {
+			return err
+		}
+		printSnapshot(os.Stdout, snap)
+	}
+	return nil
+}
+
+// statusCmd prints the current snapshot of each job.
+func statusCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand status", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("status: no job ID given")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := newClient(*addr)
+	for _, id := range fs.Args() {
+		var snap jobs.Snapshot
+		if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &snap); err != nil {
+			return err
+		}
+		printSnapshot(os.Stdout, snap)
+	}
+	return nil
+}
+
+// waitCmd polls each job until it is terminal, then renders its result
+// (text by default, -tsv or -json like the local runner). A failed or
+// cancelled job surfaces as an error after completed ones have rendered.
+func waitCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand wait", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	poll := fs.Duration("poll", 500*time.Millisecond, "status poll interval")
+	tsv := fs.Bool("tsv", false, "emit tab-separated values")
+	jsonOut := fs.Bool("json", false, "emit a JSON array of typed results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("wait: no job ID given")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := newClient(*addr)
+	var results []*report.Result
+	render := func() error {
+		if *jsonOut && len(results) > 0 {
+			return report.RenderJSONResults(os.Stdout, results)
+		}
+		return nil
+	}
+	for _, id := range fs.Args() {
+		snap, err := c.awaitJob(ctx, id, *poll)
+		if err != nil {
+			if rerr := render(); rerr != nil {
+				return fmt.Errorf("%w (and rendering completed results failed: %v)", err, rerr)
+			}
+			return err
+		}
+		results = append(results, snap.Result)
+		switch {
+		case *jsonOut:
+			// Rendered once, as one array, after every job finishes.
+		case *tsv:
+			if err := snap.Result.RenderTSV(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			if err := snap.Result.RenderText(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return render()
+}
+
+// awaitJob polls one job until it is terminal and returns its final
+// snapshot; failed and cancelled jobs become errors.
+func (c *apiClient) awaitJob(ctx context.Context, id string, poll time.Duration) (jobs.Snapshot, error) {
+	for {
+		var snap jobs.Snapshot
+		if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &snap); err != nil {
+			return snap, err
+		}
+		switch {
+		case snap.State == jobs.StateDone && snap.Result != nil:
+			return snap, nil
+		case snap.State.Terminal():
+			msg := string(snap.State)
+			if snap.Error != nil {
+				msg = snap.Error.Message
+			}
+			return snap, fmt.Errorf("job %s %s: %s", id, snap.State, msg)
+		}
+		select {
+		case <-ctx.Done():
+			return snap, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// cancelCmd aborts each job and prints its post-cancel snapshot.
+func cancelCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand cancel", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("cancel: no job ID given")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := newClient(*addr)
+	for _, id := range fs.Args() {
+		var snap jobs.Snapshot
+		if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &snap); err != nil {
+			return err
+		}
+		printSnapshot(os.Stdout, snap)
+	}
+	return nil
 }

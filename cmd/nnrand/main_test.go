@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 func TestRunRequiresExperiment(t *testing.T) {
@@ -166,6 +171,120 @@ func TestListIncludesMetadata(t *testing.T) {
 	for _, want := range []string{"table2", "fig8b", "heavy", "none", "Table 2: test accuracy"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// startJobServer runs the real service (stub runner) under httptest for
+// the client sub-commands to talk to.
+func startJobServer(t *testing.T, opts server.Options) *httptest.Server {
+	t.Helper()
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return srv
+}
+
+// TestSubmitStatusWaitRoundTrip drives the full client workflow against
+// a live server: submit prints a job ID, status reports it, wait renders
+// the completed result.
+func TestSubmitStatusWaitRoundTrip(t *testing.T) {
+	srv := startJobServer(t, server.Options{})
+
+	out := captureStdout(t, func() error {
+		return run([]string{"submit", "-addr", srv.URL, "-scale", "test", "table4"})
+	})
+	fields := strings.Fields(out)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "job-") {
+		t.Fatalf("submit output = %q", out)
+	}
+	jobID := fields[0]
+	if !strings.Contains(out, "table4-test-r3-s20220622") {
+		t.Fatalf("submit output missing result key: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"status", "-addr", srv.URL, jobID})
+	})
+	if !strings.Contains(out, jobID) {
+		t.Fatalf("status output = %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"wait", "-addr", srv.URL, "-poll", "10ms", jobID})
+	})
+	if !strings.Contains(out, "Table 4: dataset overview") {
+		t.Fatalf("wait did not render the result:\n%s", out)
+	}
+
+	// -json renders the same one-array document as the local runner.
+	out = captureStdout(t, func() error {
+		return run([]string{"wait", "-addr", srv.URL, "-poll", "10ms", "-json", jobID})
+	})
+	var results []report.Result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("wait -json output invalid: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].Experiment != "table4" {
+		t.Fatalf("wait -json results = %+v", results)
+	}
+}
+
+// TestCancelSubcommand: cancel against a blocked job reports the
+// cancelled state, and a later wait on it fails.
+func TestCancelSubcommand(t *testing.T) {
+	started := make(chan struct{})
+	srv := startJobServer(t, server.Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+
+	out := captureStdout(t, func() error {
+		return run([]string{"submit", "-addr", srv.URL, "table2"})
+	})
+	jobID := strings.Fields(out)[0]
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"cancel", "-addr", srv.URL, jobID})
+	})
+	if !strings.Contains(out, jobID) {
+		t.Fatalf("cancel output = %q", out)
+	}
+	if err := run([]string{"wait", "-addr", srv.URL, "-poll", "10ms", jobID}); err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("wait on cancelled job: err = %v", err)
+	}
+}
+
+// TestClientSubcommandsValidateArgs: each client sub-command refuses an
+// empty target list instead of silently doing nothing.
+func TestClientSubcommandsValidateArgs(t *testing.T) {
+	for _, cmd := range []string{"submit", "status", "wait", "cancel"} {
+		if err := run([]string{cmd}); err == nil {
+			t.Errorf("%s with no arguments accepted", cmd)
+		}
+	}
+}
+
+// TestGlobalFlagsBeforeClientSubcommandRejected: `nnrand -scale full
+// submit fig1` must fail loudly — the sub-command owns its flags, and
+// silently dropping the global would run at the wrong scale.
+func TestGlobalFlagsBeforeClientSubcommandRejected(t *testing.T) {
+	for _, cmd := range []string{"submit", "status", "wait", "cancel"} {
+		err := run([]string{"-scale", "full", cmd, "x"})
+		if err == nil || !strings.Contains(err.Error(), "follow the sub-command") {
+			t.Errorf("%s after global flags: err = %v", cmd, err)
 		}
 	}
 }

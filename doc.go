@@ -19,10 +19,14 @@
 //   - an nvprof-style kernel-time model pricing deterministic execution
 //     (internal/profile);
 //   - one experiment harness per table and figure (internal/experiments),
-//     runnable via the nnrand CLI or the root benchmark suite.
+//     runnable via the nnrand CLI or the root benchmark suite;
+//   - an asynchronous job engine with a persistent, content-addressed
+//     result store (internal/jobs) behind an embeddable HTTP/JSON
+//     service (internal/server): submit, poll progress, cancel, and
+//     fetch results that survive restarts.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
-// substitution notes, and EXPERIMENTS.md for paper-versus-measured results.
+// substitution notes, and docs/api.md for the HTTP API.
 //
 // RunExperiment regenerates one paper artifact programmatically as a typed
 // Result (render it with RenderText, RenderTSV or RenderJSON):

@@ -71,6 +71,7 @@ func runFig6(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	batches := []int{n / 15, n / 4, n} // small, medium, full batch
 	tb := report.New(fig6Title,
 		"batch size", "churn(%)", "stddev(acc)")
+	tr := newTracker(ctx, len(batches))
 	stats, err := sched.Map(ctx, len(batches), func(i int) (core.Stability, error) {
 		b := batches[i]
 		task := taskSmallCNNC10
@@ -87,6 +88,7 @@ func runFig6(ctx context.Context, cfg Config) ([]*report.Table, error) {
 		if err != nil {
 			return core.Stability{}, err
 		}
+		tr.tick()
 		return core.Summarize(results, dsUsed.Test.Y, dsUsed.Classes), nil
 	})
 	if err != nil {

@@ -56,12 +56,14 @@ func runFig7(ctx context.Context, cfg Config) ([]*report.Table, error) {
 			cells = append(cells, cell{g, mode})
 		}
 	}
+	tr := newTracker(ctx, len(cells))
 	return sched.Map(ctx, len(cells), func(i int) (*report.Table, error) {
 		g, mode := cells[i].g, cells[i].mode
 		p, err := profile.Graph(g, device.ArchVolta, mode, profile.Options{})
 		if err != nil {
 			return nil, err
 		}
+		defer tr.tick()
 		tb := report.New(
 			fmt.Sprintf("Figure 7: top-20 kernels, %s, TF %s mode (V100, batch %d, %d steps)",
 				g.Name, mode, p.Batch, p.Steps),
@@ -81,6 +83,7 @@ func runFig8a(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	tb := report.New(fig8aTitle,
 		"network", "P100", "V100", "T4")
 	zoo := models.Zoo()
+	tr := newTracker(ctx, len(zoo))
 	rows, err := sched.Map(ctx, len(zoo), func(i int) ([]report.Cell, error) {
 		g := zoo[i]
 		row := []report.Cell{report.Str(g.Name)}
@@ -91,6 +94,7 @@ func runFig8a(ctx context.Context, cfg Config) ([]*report.Table, error) {
 			}
 			row = append(row, report.Float(100*ov, 0).WithUnit("%"))
 		}
+		tr.tick()
 		return row, nil
 	})
 	if err != nil {
@@ -108,6 +112,7 @@ func runFig8b(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	tb := report.New(fig8bTitle,
 		"kernel", "P100", "V100", "T4")
 	kernels := []int{1, 3, 5, 7}
+	tr := newTracker(ctx, len(kernels))
 	rows, err := sched.Map(ctx, len(kernels), func(i int) ([]report.Cell, error) {
 		k := kernels[i]
 		g := models.MediumCNNGraph(k)
@@ -119,6 +124,7 @@ func runFig8b(ctx context.Context, cfg Config) ([]*report.Table, error) {
 			}
 			row = append(row, report.Float(100*ov, 0).WithUnit("%"))
 		}
+		tr.tick()
 		return row, nil
 	})
 	if err != nil {

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// ProgressFunc observes grid completion: done cells finished out of total.
+// It is called once with (0, total) when a runner sizes its grid and once
+// per completed cell after that. Calls may arrive concurrently from the
+// worker pool, so implementations must be safe for concurrent use; done is
+// monotone per runner but deliveries may be observed out of order.
+type ProgressFunc func(done, total int)
+
+type progressKeyType struct{}
+
+var progressKey progressKeyType
+
+// WithProgress attaches a progress observer to ctx. Every runner invoked
+// with the returned context reports its grid size and per-cell completion
+// through fn — this is how the job engine turns a blocking experiment run
+// into a pollable progress fraction.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey, fn)
+}
+
+// ProgressFrom extracts the observer installed by WithProgress, or nil.
+// Exported so runner stubs outside this package (server and engine
+// tests) can report progress the way real grid runners do.
+func ProgressFrom(ctx context.Context) ProgressFunc {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(progressKey).(ProgressFunc)
+	return fn
+}
+
+// tracker counts completed grid cells for one runner invocation and
+// forwards the fraction to the context's observer. A nil tracker (no
+// observer installed) is valid and every method is a no-op, so call sites
+// stay unconditional.
+type tracker struct {
+	fn    ProgressFunc
+	total int
+	done  atomic.Int64
+}
+
+// newTracker announces a grid of total cells to the context's observer
+// (if any) and returns the tracker whose tick method reports completions.
+func newTracker(ctx context.Context, total int) *tracker {
+	fn := ProgressFrom(ctx)
+	if fn == nil {
+		return nil
+	}
+	fn(0, total)
+	return &tracker{fn: fn, total: total}
+}
+
+// tick records one completed cell and reports the new fraction.
+func (t *tracker) tick() {
+	if t == nil {
+		return
+	}
+	t.fn(int(t.done.Add(1)), t.total)
+}

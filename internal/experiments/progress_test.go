@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// progressRecorder collects observer calls; safe for the concurrent
+// deliveries the grid runners produce.
+type progressRecorder struct {
+	mu    sync.Mutex
+	total int
+	last  int
+	max   int
+	calls int
+}
+
+func (p *progressRecorder) observe(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.last = done
+	if done > p.max {
+		p.max = done
+	}
+	p.calls++
+}
+
+// TestWithProgressRoundTrip pins the context plumbing itself.
+func TestWithProgressRoundTrip(t *testing.T) {
+	if fn := ProgressFrom(context.Background()); fn != nil {
+		t.Fatal("bare context carries an observer")
+	}
+	rec := &progressRecorder{}
+	ctx := WithProgress(context.Background(), rec.observe)
+	fn := ProgressFrom(ctx)
+	if fn == nil {
+		t.Fatal("observer lost in the context")
+	}
+	fn(3, 9)
+	if rec.last != 3 || rec.total != 9 {
+		t.Fatalf("recorded %d/%d, want 3/9", rec.last, rec.total)
+	}
+	if WithProgress(context.Background(), nil) == nil {
+		t.Fatal("WithProgress(nil) must return the context unchanged")
+	}
+}
+
+// TestRunnerReportsProgress runs a real (no-training) grid experiment
+// under an observer and checks the announced total matches the grid and
+// every cell ticks: fig8b profiles 4 kernel sizes.
+func TestRunnerReportsProgress(t *testing.T) {
+	rec := &progressRecorder{}
+	ctx := WithProgress(context.Background(), rec.observe)
+	if _, err := Run(ctx, "fig8b", DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total != 4 {
+		t.Fatalf("announced total = %d, want 4 (kernel sizes)", rec.total)
+	}
+	if rec.max != 4 {
+		t.Fatalf("max done = %d, want 4 (every cell ticked)", rec.max)
+	}
+	if rec.calls != 5 { // 1 announcement + 4 ticks
+		t.Fatalf("observer called %d times, want 5", rec.calls)
+	}
+}
+
+// TestRunnerWithoutObserverUnaffected: the nil-tracker fast path.
+func TestRunnerWithoutObserverUnaffected(t *testing.T) {
+	if _, err := Run(context.Background(), "fig8b", DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -269,10 +269,18 @@ type gridCell struct {
 // stabilityGrid trains every cell's population concurrently on the sched
 // pool and returns per-cell stability summaries in cell order. Shared
 // populations dedup through the singleflight cache; cancelling ctx aborts
-// in-flight training at the next batch boundary.
+// in-flight training at the next batch boundary. Each completed cell ticks
+// the context's progress observer (see WithProgress), which is how grid
+// runners feed the job engine's done/total fraction.
 func stabilityGrid(ctx context.Context, cfg Config, cells []gridCell) ([]core.Stability, error) {
+	tr := newTracker(ctx, len(cells))
 	return sched.Map(ctx, len(cells), func(i int) (core.Stability, error) {
-		return stability(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
+		st, err := stability(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
+		if err != nil {
+			return core.Stability{}, err
+		}
+		tr.tick()
+		return st, nil
 	})
 }
 

@@ -66,11 +66,13 @@ func subgroupRows(ctx context.Context, cfg Config) (map[core.Variant][]core.Subg
 		rows []core.SubgroupStability
 		ds   *data.Dataset
 	}
+	tr := newTracker(ctx, len(core.StandardVariants))
 	per, err := sched.Map(ctx, len(core.StandardVariants), func(i int) (variantRows, error) {
 		results, d, err := population(ctx, cfg, taskCelebA, device.V100, core.StandardVariants[i])
 		if err != nil {
 			return variantRows{}, err
 		}
+		tr.tick()
 		return variantRows{core.SummarizeSubgroups(results, d.Test), d}, nil
 	})
 	if err != nil {

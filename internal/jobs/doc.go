@@ -1,0 +1,38 @@
+// Package jobs turns experiment runs into first-class, durable objects:
+// an asynchronous job engine over a bounded queue, plus a
+// content-addressed on-disk store for completed results.
+//
+// # Engine
+//
+// Submit enqueues one experiment run and returns immediately with a Job
+// whose snapshot carries status (queued / running / done / failed /
+// cancelled), progress (grid cells completed out of total, fed by the
+// experiments package's progress observer), and a typed *Error on
+// failure. Identical live submissions (same result key) join the same
+// job, and submissions whose result already sits in the store complete
+// instantly as cached — the engine is the singleflight layer that the
+// HTTP server and CLI build on. Cancel aborts a queued job immediately
+// and a running job at its next training-batch boundary via context
+// cancellation.
+//
+// # Store
+//
+// The Store persists completed report.Results as JSON files keyed by the
+// canonical result key (see ResultKey): writes go to a temp file in the
+// same directory and are published by atomic rename, so a crash can
+// never leave a torn result visible. The in-memory index is an LRU with
+// an intrusive doubly-linked list (O(1) touch and eviction); evicting an
+// entry also unlinks its file, so the directory is bounded by the same
+// capacity. Opening a Store re-indexes the directory in modification-time
+// order, which is how a restarted server serves previously computed
+// results without retraining anything.
+//
+// # Concurrency and determinism contract
+//
+// Engine and Store are safe for concurrent use by any number of
+// goroutines. Jobs are process-scoped (a restart forgets queued and
+// running jobs); results are durable. Because every experiment derives
+// its randomness from explicit seeds, a result loaded from disk is
+// bit-identical to what rerunning the same configuration would produce —
+// serving from the store is an optimization, never an approximation.
+package jobs

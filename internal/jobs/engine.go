@@ -1,0 +1,512 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+// State is a job's lifecycle phase. Transitions are monotone:
+//
+//	queued -> running -> done | failed | cancelled
+//	queued -> cancelled            (cancelled before a worker picked it up)
+//	queued -> done                 (result already in the store: "cached")
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Error kinds for Error.Kind.
+const (
+	// ErrKindCancelled marks jobs stopped by Cancel or by every attached
+	// waiter disconnecting.
+	ErrKindCancelled = "cancelled"
+	// ErrKindFailed marks jobs whose runner returned an error or panicked.
+	ErrKindFailed = "failed"
+)
+
+// Error is the typed failure attached to a failed or cancelled job; it
+// serializes into job snapshots so HTTP clients can branch on Kind
+// without parsing messages.
+type Error struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("job %s: %s", e.Kind, e.Message) }
+
+// Progress is the fraction of an experiment's grid completed: Done cells
+// out of Total. Total is 0 until the runner sizes its grid (and stays 0
+// for experiments with no training grid, which complete near-instantly).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Snapshot is a point-in-time, JSON-ready view of a job. Result is
+// populated only in StateDone.
+type Snapshot struct {
+	ID         string            `json:"id"`
+	Experiment string            `json:"experiment"`
+	Key        string            `json:"key"`
+	State      State             `json:"state"`
+	Progress   Progress          `json:"progress"`
+	Config     report.ConfigEcho `json:"config"`
+	// Cached reports that the result came from the store (or from a
+	// concurrently completed identical job) without training anything.
+	Cached bool           `json:"cached"`
+	Error  *Error         `json:"error,omitempty"`
+	Result *report.Result `json:"result,omitempty"`
+}
+
+// RunFunc executes one experiment. Production engines use
+// experiments.Run; tests substitute stubs.
+type RunFunc func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of jobs executed concurrently (each job still
+	// parallelizes internally on the sched pool). 0 picks half of
+	// GOMAXPROCS, minimum 1 — jobs are coarse units; the fine-grained
+	// parallelism lives inside them.
+	Workers int
+	// QueueDepth bounds how many submitted jobs may wait behind the
+	// running ones before Submit returns ErrQueueFull (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Store persists and dedups completed results (nil = a fresh
+	// memory-only store).
+	Store *Store
+	// Run overrides the experiment executor (nil = experiments.Run).
+	Run RunFunc
+	// RetainJobs bounds how many terminal jobs stay addressable by ID
+	// before the oldest are forgotten (0 = DefaultRetainJobs).
+	RetainJobs int
+}
+
+// Defaults for Options.
+const (
+	DefaultQueueDepth = 64
+	DefaultRetainJobs = 256
+)
+
+// ErrQueueFull is returned by Submit when the backlog is at capacity.
+// (Alias of the scheduler's error so callers need only one import.)
+var ErrQueueFull = sched.ErrQueueFull
+
+// Engine owns the job table and the bounded execution queue.
+type Engine struct {
+	run   RunFunc
+	store *Store
+	queue *sched.Queue
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*Job // every job still addressable by ID
+	byKey    map[string]*Job // live (queued/running) jobs, for dedup
+	finished []string        // terminal job IDs in completion order
+	retain   int
+}
+
+// NewEngine starts the worker set and returns a ready engine. Close it
+// to stop accepting work and wait for in-flight jobs.
+func NewEngine(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = max(runtime.GOMAXPROCS(0)/2, 1)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	retain := opts.RetainJobs
+	if retain <= 0 {
+		retain = DefaultRetainJobs
+	}
+	e := &Engine{
+		run:    opts.Run,
+		store:  opts.Store,
+		queue:  sched.NewQueue(workers, depth),
+		jobs:   map[string]*Job{},
+		byKey:  map[string]*Job{},
+		retain: retain,
+	}
+	if e.run == nil {
+		e.run = func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+			return experiments.Run(ctx, id, cfg)
+		}
+	}
+	if e.store == nil {
+		e.store, _ = Open("", 0) // memory-only Open cannot fail
+	}
+	return e
+}
+
+// Store exposes the engine's result store (the server's GET /v1/results
+// reads through it).
+func (e *Engine) Store() *Store { return e.store }
+
+// Close cancels every live job, drains the queue, and waits for workers
+// to finish. Further Submits return ErrQueueClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	live := make([]*Job, 0, len(e.byKey))
+	for _, j := range e.byKey {
+		live = append(live, j)
+	}
+	e.mu.Unlock()
+	for _, j := range live {
+		j.cancelWith(&Error{Kind: ErrKindCancelled, Message: "engine shutting down"})
+	}
+	e.queue.Close()
+}
+
+// Submit enqueues a detached run of one experiment: the job runs to
+// completion (and persists its result) whether or not anyone is
+// watching. A submission whose result is already stored completes
+// instantly as cached; one whose key matches a live job joins that job.
+func (e *Engine) Submit(experiment string, cfg experiments.Config) (*Job, error) {
+	return e.submit(experiment, cfg, true)
+}
+
+// SubmitAttached enqueues a run owned by its waiters: each call
+// registers one waiter, and when every waiter has Released before
+// completion the job is cancelled so abandoned work stops burning the
+// pool. If a detached submission later joins the same job it upgrades to
+// detached and survives its waiters.
+func (e *Engine) SubmitAttached(experiment string, cfg experiments.Config) (*Job, error) {
+	return e.submit(experiment, cfg, false)
+}
+
+func (e *Engine) submit(experiment string, cfg experiments.Config, detached bool) (*Job, error) {
+	key := ResultKey(experiment, cfg)
+	// Probe the store before taking the engine lock: a cold key may lazily
+	// load its file from disk, and that I/O must not stall every other
+	// engine operation. A result stored between this miss and execution is
+	// still caught by the worker-side re-check.
+	stored, hit := e.store.Get(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, sched.ErrQueueClosed
+	}
+	if j, ok := e.byKey[key]; ok {
+		// Join the live job for this key.
+		j.mu.Lock()
+		if detached {
+			j.detached = true
+		} else {
+			j.waiters++
+		}
+		j.mu.Unlock()
+		return j, nil
+	}
+	e.seq++
+	id := fmt.Sprintf("job-%06d", e.seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:         id,
+		experiment: experiment,
+		cfg:        cfg,
+		key:        key,
+		engine:     e,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		state:      StateQueued,
+		detached:   detached,
+	}
+	if !detached {
+		j.waiters = 1
+	}
+	if hit {
+		// Served from the store: the job is born terminal. It is still a
+		// first-class object so clients can poll it uniformly.
+		j.state = StateDone
+		j.res = stored
+		j.cached = true
+		cancel()
+		close(j.done)
+		e.jobs[id] = j
+		e.retire(id)
+		return j, nil
+	}
+	if err := e.queue.Submit(func() { e.execute(j) }); err != nil {
+		cancel()
+		return nil, err
+	}
+	e.jobs[id] = j
+	e.byKey[key] = j
+	return j, nil
+}
+
+// Get returns the job addressed by ID, if it is still retained.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Cancel stops the job addressed by ID: a queued job terminates
+// immediately, a running one at its next training-batch boundary.
+// Cancelling a terminal job is a no-op. The second return is false when
+// no such job is retained.
+func (e *Engine) Cancel(id string) (*Job, bool) {
+	j, ok := e.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancelWith(&Error{Kind: ErrKindCancelled, Message: "cancelled by request"})
+	return j, true
+}
+
+// execute runs one queued job on an engine worker.
+func (e *Engine) execute(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	ctx := j.ctx
+	j.mu.Unlock()
+
+	// A duplicate may have been queued behind the job that computed this
+	// key (it missed the byKey dedup window), or the store may have been
+	// warmed since submission: re-check before paying for training.
+	if res, ok := e.store.Get(j.key); ok {
+		e.finish(j, res, nil, true)
+		return
+	}
+
+	res, err := func() (res *report.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("runner panicked: %v", r)
+			}
+		}()
+		return e.run(experiments.WithProgress(ctx, j.setProgress), j.experiment, j.cfg)
+	}()
+	e.finish(j, res, err, false)
+}
+
+// finish publishes a job's outcome: the live-key entry is retired, a
+// successful result enters the store, and done wakes every watcher.
+func (e *Engine) finish(j *Job, res *report.Result, err error, cached bool) {
+	e.mu.Lock()
+	if e.byKey[j.key] == j {
+		delete(e.byKey, j.key)
+	}
+	e.retire(j.id)
+	e.mu.Unlock()
+
+	if err == nil {
+		// The store keeps the result addressable (and durable) even after
+		// the job itself is forgotten. A failed disk write degrades
+		// durability, not correctness: the result still serves from memory.
+		if !cached {
+			_ = e.store.Put(j.key, res)
+		}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() { // lost a race against cancelWith on a queued job
+		return
+	}
+	switch {
+	case err == nil:
+		// A cancel may have raced a run that completed anyway; the result
+		// won, so the job is done and the provisional cancel cause is moot.
+		j.state = StateDone
+		j.res = res
+		j.cached = cached
+		j.err = nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		if j.err == nil {
+			j.err = &Error{Kind: ErrKindCancelled, Message: err.Error()}
+		}
+	default:
+		j.state = StateFailed
+		j.err = &Error{Kind: ErrKindFailed, Message: err.Error()}
+	}
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// retire records a terminal job and forgets the oldest terminal jobs
+// beyond the retention bound. Callers hold e.mu.
+func (e *Engine) retire(id string) {
+	e.finished = append(e.finished, id)
+	for len(e.finished) > e.retain {
+		delete(e.jobs, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+}
+
+// Job is one submitted experiment run. All state is guarded by mu;
+// clients read it through Snapshot.
+type Job struct {
+	id         string
+	experiment string
+	cfg        experiments.Config
+	key        string
+	engine     *Engine
+	ctx        context.Context
+	cancel     context.CancelFunc
+	done       chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	progress Progress
+	waiters  int
+	detached bool
+	cached   bool
+	res      *report.Result
+	err      *Error
+}
+
+// ID returns the engine-scoped job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the canonical result key the job computes.
+func (j *Job) Key() string { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns a consistent point-in-time view of the job.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:         j.id,
+		Experiment: j.experiment,
+		Key:        j.key,
+		State:      j.state,
+		Progress:   j.progress,
+		Config:     j.cfg.Echo(),
+		Cached:     j.cached,
+		Error:      j.err,
+	}
+	if j.state == StateDone {
+		s.Result = j.res
+	}
+	return s
+}
+
+// Wait blocks until the job is terminal or ctx is cancelled (which
+// abandons the wait, not the job) and returns the job's result or typed
+// error.
+func (j *Job) Wait(ctx context.Context) (*report.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.res, nil
+}
+
+// Release drops one attached waiter (see SubmitAttached). When the last
+// waiter of a still-attached job leaves before completion, the job is
+// cancelled — the asynchronous analogue of every HTTP client
+// disconnecting from a synchronous run. The abandon decision holds both
+// the engine and job locks, the same pair submit's join path holds, so
+// it is atomic with joins: a client joining concurrently either lands
+// before the decision (waiters > 0, no cancel) or finds the key already
+// retired and starts a fresh job — it can never inherit a cancellation
+// triggered by someone else's disconnect.
+func (j *Job) Release() {
+	e := j.engine
+	e.mu.Lock()
+	j.mu.Lock()
+	j.waiters--
+	abandon := j.waiters <= 0 && !j.detached && !j.state.Terminal()
+	if abandon && e.byKey[j.key] == j {
+		delete(e.byKey, j.key)
+	}
+	j.mu.Unlock()
+	e.mu.Unlock()
+	if abandon {
+		j.transitionCancel(&Error{Kind: ErrKindCancelled, Message: "every waiter disconnected"})
+	}
+}
+
+// setProgress is the experiments.ProgressFunc fed to the runner.
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	if done >= j.progress.Done { // deliveries may race; keep monotone
+		j.progress = Progress{Done: done, Total: total}
+	}
+	j.mu.Unlock()
+}
+
+// cancelWith drives the job toward StateCancelled: the live-key entry
+// is retired immediately so an identical submission arriving during the
+// wind-down starts fresh instead of inheriting the cancellation, then
+// the state transition proceeds.
+func (j *Job) cancelWith(cause *Error) {
+	e := j.engine
+	e.mu.Lock()
+	if e.byKey[j.key] == j {
+		delete(e.byKey, j.key)
+	}
+	e.mu.Unlock()
+	j.transitionCancel(cause)
+}
+
+// transitionCancel moves an already key-retired job toward
+// StateCancelled: a queued job is finished on the spot (its queue slot
+// becomes a no-op), a running job has its context cancelled and
+// finishes when the runner observes it.
+func (j *Job) transitionCancel(cause *Error) {
+	e := j.engine
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = cause
+		j.mu.Unlock()
+		e.mu.Lock()
+		e.retire(j.id)
+		e.mu.Unlock()
+		j.cancel()
+		close(j.done)
+	case StateRunning:
+		if j.err == nil {
+			j.err = cause
+		}
+		j.mu.Unlock()
+		j.cancel() // finish() completes the transition
+	default:
+		j.mu.Unlock()
+	}
+}

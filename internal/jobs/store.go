@@ -1,0 +1,279 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// DefaultStoreCapacity bounds the result index when Open is given a
+// non-positive capacity.
+const DefaultStoreCapacity = 64
+
+// ResultKey is the canonical, URL- and filename-safe identity of a run:
+// {id}-{scale}-r{replicas}-s{seed} with the scale-default replica count
+// resolved, so equivalent configurations collide. It is the store's
+// content address: two configurations with the same key are guaranteed
+// (by the determinism contract) to produce bit-identical results.
+func ResultKey(id string, cfg experiments.Config) string {
+	return fmt.Sprintf("%s-%s-r%d-s%d", id, cfg.Scale, cfg.EffectiveReplicas(), cfg.Seed)
+}
+
+// Store is a bounded, optionally disk-backed cache of completed results.
+// The index is LRU-ordered via an intrusive doubly-linked list: Get and
+// Put are O(1) including eviction. With a directory configured, Put
+// persists each result as {key}.json via write-to-temp + atomic rename,
+// eviction unlinks the file, and Open rebuilds the index from the
+// directory — so results survive process restarts and the directory
+// never outgrows the configured capacity.
+type Store struct {
+	mu    sync.Mutex
+	dir   string // "" = memory-only
+	cap   int
+	items map[string]*storeEntry
+	// head is the most recently used entry, tail the eviction candidate.
+	head, tail *storeEntry
+}
+
+// storeEntry is one doubly-linked LRU node. res is nil for entries known
+// only from the directory scan; Get loads them lazily.
+type storeEntry struct {
+	key        string
+	res        *report.Result
+	prev, next *storeEntry
+}
+
+// Open returns a Store holding at most capacity results (<= 0 picks
+// DefaultStoreCapacity). dir "" keeps the store memory-only; otherwise
+// the directory is created if needed and existing results are indexed in
+// modification-time order (newest = most recently used), with anything
+// beyond capacity evicted oldest-first. Leftover temp files from a
+// crashed writer are removed; files that fail to parse are ignored at
+// read time rather than trusted.
+func Open(dir string, capacity int) (*Store, error) {
+	if capacity <= 0 {
+		capacity = DefaultStoreCapacity
+	}
+	s := &Store{dir: dir, cap: capacity, items: map[string]*storeEntry{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: opening store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scanning store: %w", err)
+	}
+	type onDisk struct {
+		key string
+		mod int64
+	}
+	var found []onDisk
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A writer crashed between create and rename; the torn file was
+			// never published, so it is garbage.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || e.IsDir() || key == "" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{key, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod < found[j].mod })
+	for _, f := range found { // oldest first, so the newest ends up MRU
+		s.insertFront(&storeEntry{key: f.key})
+	}
+	s.evictOverCap()
+	return s, nil
+}
+
+const tmpPrefix = ".tmp-"
+
+// Dir reports the backing directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports the number of indexed results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Get returns the result stored under key, loading it from disk if the
+// entry was indexed by Open but not yet read. A hit refreshes the entry's
+// LRU position. A file that no longer parses is dropped from the index
+// and reported as a miss.
+func (s *Store) Get(key string) (*report.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	if e.res == nil {
+		res, err := s.load(key)
+		if err != nil {
+			s.remove(e, true)
+			return nil, false
+		}
+		e.res = res
+	}
+	s.moveToFront(e)
+	return e.res, true
+}
+
+// Put stores res under key, evicting the least recently used entries
+// (and their files) beyond capacity. With a directory configured the
+// result is also written to {key}.json atomically; the in-memory index
+// is updated even if the disk write fails, and the write error is
+// returned so callers can surface degraded durability. The file is
+// published while the lock is held so it can never race a concurrent
+// eviction's unlink and resurrect an evicted key on disk — writes are
+// one small JSON file per completed job, so the hold is cheap.
+func (s *Store) Put(key string, res *report.Result) error {
+	if res == nil {
+		return fmt.Errorf("jobs: refusing to store nil result under %q", key)
+	}
+	if strings.ContainsAny(key, "/\\") || strings.HasPrefix(key, ".") {
+		return fmt.Errorf("jobs: invalid result key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		e.res = res
+		s.moveToFront(e)
+	} else {
+		s.insertFront(&storeEntry{key: key, res: res})
+		s.evictOverCap()
+	}
+	if s.dir == "" {
+		return nil
+	}
+	return s.persist(key, res)
+}
+
+// persist publishes res as {key}.json with write-to-temp + rename, so
+// readers (including a future process) only ever observe complete files.
+func (s *Store) persist(key string, res *report.Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encoding result %q: %w", key, err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+key+"-*")
+	if err != nil {
+		return fmt.Errorf("jobs: persisting result %q: %w", key, err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.path(key))
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: persisting result %q: %w", key, werr)
+	}
+	return nil
+}
+
+func (s *Store) load(key string) (*report.Result, error) {
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, err
+	}
+	var res report.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("jobs: corrupt stored result %q: %w", key, err)
+	}
+	return &res, nil
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Keys lists the indexed keys from most to least recently used (tests
+// and diagnostics).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.items))
+	for e := s.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+// Linked-list plumbing. Callers hold s.mu.
+
+func (s *Store) insertFront(e *storeEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	s.items[e.key] = e
+}
+
+func (s *Store) moveToFront(e *storeEntry) {
+	if s.head == e {
+		return
+	}
+	// Unlink.
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	// Relink at head.
+	e.prev, e.next = nil, s.head
+	s.head.prev = e
+	s.head = e
+}
+
+// remove unlinks e from the list and index; dropFile also unlinks its
+// on-disk form so eviction bounds the directory, not just memory.
+func (s *Store) remove(e *storeEntry, dropFile bool) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(s.items, e.key)
+	if dropFile && s.dir != "" {
+		_ = os.Remove(s.path(e.key))
+	}
+}
+
+func (s *Store) evictOverCap() {
+	for len(s.items) > s.cap {
+		s.remove(s.tail, true)
+	}
+}

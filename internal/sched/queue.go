@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors. Submitters distinguish a transient full queue (back off,
+// retry, or surface 503) from a closed queue (the owner is shutting down).
+var (
+	ErrQueueFull   = errors.New("sched: queue full")
+	ErrQueueClosed = errors.New("sched: queue closed")
+)
+
+// Queue is a bounded FIFO of arbitrary work drained by a fixed set of
+// worker goroutines. It complements ForEach/Map: those fan a known index
+// range out and wait; a Queue accepts work that arrives over time (job
+// submissions, for example) and runs it in the background with bounded
+// concurrency and bounded backlog.
+//
+// Submit never blocks — when the backlog is full it returns ErrQueueFull
+// so callers can apply backpressure instead of queueing unboundedly.
+// Tasks run in submission order (FIFO) across the worker set; tasks must
+// recover their own panics, since there is no submitting goroutine to
+// re-panic on (a panic in a task crashes the process, matching `go fn()`
+// semantics).
+type Queue struct {
+	mu     sync.Mutex
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+}
+
+// NewQueue starts workers goroutines (min 1) draining a backlog of at
+// most depth queued tasks (min 1) beyond the ones currently running.
+func NewQueue(workers, depth int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue{tasks: make(chan func(), depth)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for fn := range q.tasks {
+				fn()
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues fn for execution. It returns ErrQueueFull when the
+// backlog is at capacity and ErrQueueClosed after Close.
+func (q *Queue) Submit(fn func()) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.tasks <- fn:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting work, drains the backlog, and waits for every
+// in-flight task to finish. Close is idempotent and safe to call
+// concurrently with Submit.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.tasks)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}

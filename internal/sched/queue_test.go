@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueRunsEverything: every accepted task runs exactly once.
+func TestQueueRunsEverything(t *testing.T) {
+	q := NewQueue(4, 64)
+	var ran atomic.Int64
+	const n = 100
+	for i := 0; i < n; i++ {
+		// Backpressure is part of the contract: retry until a slot frees.
+		for {
+			err := q.Submit(func() { ran.Add(1) })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d tasks, want %d", got, n)
+	}
+}
+
+// TestQueueBoundedBacklog: with every worker busy and the backlog full,
+// Submit reports ErrQueueFull instead of blocking or queueing.
+func TestQueueBoundedBacklog(t *testing.T) {
+	release := make(chan struct{})
+	q := NewQueue(1, 1)
+	started := make(chan struct{})
+	if err := q.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds task 1; the buffer is free again
+	if err := q.Submit(func() { <-release }); err != nil {
+		t.Fatal(err) // fills the backlog
+	}
+	if err := q.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	q.Close()
+}
+
+// TestQueueCloseDrainsAndRefuses: Close waits for in-flight and queued
+// tasks, further submits fail, and double Close is safe.
+func TestQueueCloseDrainsAndRefuses(t *testing.T) {
+	q := NewQueue(1, 8)
+	var ran atomic.Int64
+	slow := func() { time.Sleep(10 * time.Millisecond); ran.Add(1) }
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(slow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("Close returned with %d/3 tasks done", got)
+	}
+	if err := q.Submit(func() {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("post-Close submit err = %v, want ErrQueueClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+// TestQueueFIFO: a single worker executes tasks in submission order.
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(1, 16)
+	var order []int
+	done := make(chan struct{})
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := q.Submit(func() {
+			order = append(order, i) // single worker: no race
+			if i == 4 {
+				close(done)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	q.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order = %v, want FIFO", order)
+		}
+	}
+}

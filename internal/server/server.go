@@ -3,100 +3,109 @@
 // harnesses and batch clients consume paper artifacts programmatically
 // instead of scraping CLI text.
 //
-// Endpoints:
+// Endpoints (full request/response examples in docs/api.md):
 //
-//	GET  /v1/experiments          registry metadata for every experiment
-//	POST /v1/experiments/{id}/run run one experiment (scale/replicas/seed
-//	                              in the JSON body), returning its Result
-//	GET  /v1/results/{key}        re-fetch a completed result from the LRU
+//	GET    /v1/experiments          registry metadata for every experiment
+//	POST   /v1/experiments/{id}/run run one experiment synchronously
+//	GET    /v1/results/{key}        fetch a completed result from the store
+//	POST   /v1/jobs                 submit an asynchronous run; returns a job ID
+//	GET    /v1/jobs/{id}            job status, progress, and result when done
+//	DELETE /v1/jobs/{id}            cancel a queued or running job
 //
-// Concurrent identical run requests collapse into one flight: the first
-// request executes the experiment, later arrivals subscribe to the same
-// flight, and the underlying population cache guarantees each replica
-// population trains exactly once. A flight is cancelled only when every
-// subscribed client has disconnected, so one impatient caller can never
-// abort work that others are still waiting for. Completed results land in
-// a bounded LRU keyed by the canonical (experiment, scale, replicas, seed)
-// tuple.
+// Every run — synchronous or submitted — flows through the job engine
+// (internal/jobs): identical live requests collapse onto one job, the
+// bounded queue applies backpressure (503 when full), and completed
+// results land in the engine's content-addressed store. With a store
+// directory configured, results persist across restarts, so resubmitting
+// a configuration the server has ever completed trains nothing and is
+// served from disk. The synchronous run endpoint is submit+wait over the
+// same engine: its jobs are owned by their HTTP clients, and when every
+// client for a run has disconnected the job is cancelled so abandoned
+// work stops burning the pool — unless an asynchronous submission has
+// also claimed the job, in which case it survives its waiters.
+//
+// Concurrency and determinism contract: handlers are safe for arbitrary
+// concurrency; every run derives its randomness from explicit seeds, so
+// a result served from cache or disk is bit-identical to rerunning it.
 package server
 
 import (
 	"bytes"
-	"container/list"
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 )
 
-// DefaultCacheSize bounds the completed-result LRU when Options.CacheSize
-// is zero.
-const DefaultCacheSize = 64
+// DefaultCacheSize bounds the completed-result store when
+// Options.CacheSize is zero.
+const DefaultCacheSize = jobs.DefaultStoreCapacity
 
 // RunFunc executes one experiment. Tests substitute stubs; production
 // servers use experiments.Run.
-type RunFunc func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error)
+type RunFunc = jobs.RunFunc
 
 // Options configures a Server.
 type Options struct {
-	// CacheSize is the completed-result LRU capacity (0 = DefaultCacheSize).
+	// CacheSize is the completed-result store capacity (0 = DefaultCacheSize).
 	CacheSize int
+	// StoreDir, when non-empty, persists completed results as JSON files
+	// there so they survive restarts. Empty keeps results in memory only.
+	StoreDir string
+	// Workers bounds how many jobs execute concurrently (0 = the jobs
+	// package default).
+	Workers int
+	// QueueDepth bounds the submitted-job backlog; beyond it, submissions
+	// fail with 503 (0 = the jobs package default).
+	QueueDepth int
 	// Run overrides the experiment executor (nil = experiments.Run).
 	Run RunFunc
 }
 
 // Server is the embeddable HTTP/JSON service over the experiment registry.
 type Server struct {
-	run RunFunc
-	mux *http.ServeMux
-
-	mu      sync.Mutex
-	flights map[string]*flight
-	results *lruCache
+	engine *jobs.Engine
+	mux    *http.ServeMux
 }
 
-// flight is one in-progress experiment run shared by every concurrent
-// identical request. waiters counts subscribed clients; when it drops to
-// zero before completion the flight's context is cancelled and training
-// aborts at the next batch boundary.
-type flight struct {
-	done    chan struct{}
-	cancel  context.CancelFunc
-	waiters int
-	res     *report.Result
-	err     error
-}
-
-// New returns a Server ready to serve via Handler().
-func New(opts Options) *Server {
-	s := &Server{
-		run:     opts.Run,
-		flights: map[string]*flight{},
-		results: newLRU(opts.CacheSize),
+// New returns a Server ready to serve via Handler(). It fails only when
+// a configured store directory cannot be created or scanned.
+func New(opts Options) (*Server, error) {
+	store, err := jobs.Open(opts.StoreDir, opts.CacheSize)
+	if err != nil {
+		return nil, err
 	}
-	if s.run == nil {
-		s.run = func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
-			return experiments.Run(ctx, id, cfg)
-		}
+	s := &Server{
+		engine: jobs.NewEngine(jobs.Options{
+			Workers:    opts.Workers,
+			QueueDepth: opts.QueueDepth,
+			Store:      store,
+			Run:        opts.Run,
+		}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRun)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler for embedding under any
 // listener, router prefix or test server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels live jobs and waits for the engine's workers to drain.
+func (s *Server) Close() { s.engine.Close() }
 
 // RunRequest is the POST /v1/experiments/{id}/run body. Every field is
 // optional; zero values pick the CLI defaults (quick scale, scale-default
@@ -107,12 +116,20 @@ type RunRequest struct {
 	Seed     uint64 `json:"seed,omitempty"`
 }
 
+// SubmitRequest is the POST /v1/jobs body: a RunRequest plus the
+// experiment to run. Embedding keeps the two endpoints' configuration
+// schema one definition.
+type SubmitRequest struct {
+	Experiment string `json:"experiment"`
+	RunRequest
+}
+
 // RunResponse is the POST /v1/experiments/{id}/run reply.
 type RunResponse struct {
 	// Key addresses the result in GET /v1/results/{key}.
 	Key string `json:"key"`
 	// Cached reports whether the result was served from the completed-result
-	// LRU without running anything.
+	// store without running anything.
 	Cached bool           `json:"cached"`
 	Result *report.Result `json:"result"`
 }
@@ -128,9 +145,10 @@ type errorResponse struct {
 
 // ResultKey is the canonical, URL-safe identity of a run:
 // {id}-{scale}-r{replicas}-s{seed} with the scale-default replica count
-// resolved, so equivalent configurations collide.
+// resolved, so equivalent configurations collide. (It is also the
+// store's on-disk filename stem; see internal/jobs.)
 func ResultKey(id string, cfg experiments.Config) string {
-	return fmt.Sprintf("%s-%s-r%d-s%d", id, cfg.Scale, cfg.EffectiveReplicas(), cfg.Seed)
+	return jobs.ResultKey(id, cfg)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -139,9 +157,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	s.mu.Lock()
-	res, ok := s.results.get(key)
-	s.mu.Unlock()
+	res, ok := s.engine.Store().Get(key)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no completed result for key %q", key)})
 		return
@@ -149,111 +165,158 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RunResponse{Key: key, Cached: true, Result: res})
 }
 
+// handleRun is the synchronous endpoint, reimplemented as submit+wait
+// over the job engine: the HTTP client owns (a share of) the job and
+// blocks until it is terminal.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := experiments.Describe(id); err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
 	}
-	cfg, err := parseRunRequest(r.Body)
+	var req RunRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg, err := buildConfig(req.Scale, req.Replicas, req.Seed)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	key := ResultKey(id, cfg)
-
-	s.mu.Lock()
-	if res, ok := s.results.get(key); ok {
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, RunResponse{Key: key, Cached: true, Result: res})
+	job, err := s.engine.SubmitAttached(id, cfg)
+	if err != nil {
+		writeJSON(w, submitErrStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
-	f, ok := s.flights[key]
-	if ok {
-		f.waiters++
-	} else {
-		ctx, cancel := context.WithCancel(context.Background())
-		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
-		s.flights[key] = f
-		go s.execute(ctx, f, key, id, cfg)
-	}
-	s.mu.Unlock()
-
 	select {
-	case <-f.done:
+	case <-job.Done():
 	case <-r.Context().Done():
-		// This client is gone. Unsubscribe; the last one out cancels the
-		// flight so abandoned work stops burning the pool, and retires it
-		// from the flight table immediately — a client arriving while the
-		// doomed flight is still winding down must start a fresh one, not
-		// inherit its cancellation error.
-		s.mu.Lock()
-		f.waiters--
-		if f.waiters == 0 && s.flights[key] == f {
-			f.cancel()
-			delete(s.flights, key)
-		}
-		s.mu.Unlock()
+		// This client is gone. The last waiter out cancels the job (unless
+		// an asynchronous submission detached it) so abandoned work stops
+		// burning the pool; an identical request arriving while the doomed
+		// job is winding down starts a fresh one.
+		job.Release()
 		return
 	}
-	if f.err != nil {
+	snap := job.Snapshot()
+	if snap.Error != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+		if snap.Error.Kind == jobs.ErrKindCancelled {
 			// Only possible when every client (including this one, racing
-			// its own disconnect) abandoned the flight.
+			// its own disconnect) abandoned or DELETEd the job.
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, errorResponse{Error: f.err.Error()})
+		writeJSON(w, status, errorResponse{Error: snap.Error.Message})
 		return
 	}
-	writeJSON(w, http.StatusOK, RunResponse{Key: key, Result: f.res})
+	writeJSON(w, http.StatusOK, RunResponse{Key: snap.Key, Cached: snap.Cached, Result: snap.Result})
 }
 
-// execute runs the flight and publishes its outcome: the flight entry is
-// retired, a successful result enters the LRU, and done wakes every
-// subscribed request.
-func (s *Server) execute(ctx context.Context, f *flight, key, id string, cfg experiments.Config) {
-	defer f.cancel()
-	res, err := s.run(ctx, id, cfg)
-	s.mu.Lock()
-	f.res, f.err = res, err
-	if s.flights[key] == f {
-		delete(s.flights, key)
+// handleSubmit is POST /v1/jobs: enqueue a detached run and return its
+// job snapshot immediately — 200 when the result was already stored (the
+// job is born done), 202 otherwise.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
 	}
-	if err == nil {
-		s.results.add(key, res)
+	if req.Experiment == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing required field \"experiment\""})
+		return
 	}
-	s.mu.Unlock()
-	close(f.done)
+	if _, err := experiments.Describe(req.Experiment); err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg, err := buildConfig(req.Scale, req.Replicas, req.Seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	job, err := s.engine.Submit(req.Experiment, cfg)
+	if err != nil {
+		writeJSON(w, submitErrStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	snap := job.Snapshot()
+	status := http.StatusAccepted
+	if snap.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, snap)
 }
 
-func parseRunRequest(body io.Reader) (experiments.Config, error) {
-	cfg := experiments.DefaultConfig()
+// handleJobStatus is GET /v1/jobs/{id}: the job's snapshot, including
+// progress while running and the full result once done.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.engine.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no such job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: stop a queued job immediately
+// or a running one at its next training-batch boundary. Cancelling a
+// terminal job is a no-op; either way the current snapshot is returned.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.engine.Cancel(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no such job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// submitErrStatus maps engine submission failures onto HTTP statuses:
+// a full queue is backpressure (503), anything else is internal.
+func submitErrStatus(err error) int {
+	if errors.Is(err, jobs.ErrQueueFull) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// decodeBody parses a JSON request body into dst, tolerating an empty
+// body (all defaults) and rejecting unknown fields.
+func decodeBody(body io.Reader, dst any) error {
 	raw, err := io.ReadAll(io.LimitReader(body, 1<<16))
 	if err != nil {
-		return cfg, fmt.Errorf("reading request body: %w", err)
+		return fmt.Errorf("reading request body: %w", err)
 	}
-	var req RunRequest
-	if len(raw) > 0 {
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			return cfg, fmt.Errorf("decoding request body: %w", err)
-		}
+	if len(raw) == 0 {
+		return nil
 	}
-	if req.Scale != "" {
-		scale, err := data.ParseScale(req.Scale)
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// buildConfig resolves wire-level scale/replicas/seed onto the CLI
+// defaults and validates them.
+func buildConfig(scale string, replicas int, seed uint64) (experiments.Config, error) {
+	cfg := experiments.DefaultConfig()
+	if scale != "" {
+		s, err := data.ParseScale(scale)
 		if err != nil {
 			return cfg, err
 		}
-		cfg.Scale = scale
+		cfg.Scale = s
 	}
-	if req.Replicas < 0 {
-		return cfg, fmt.Errorf("replicas must be >= 0, got %d", req.Replicas)
+	if replicas < 0 {
+		return cfg, fmt.Errorf("replicas must be >= 0, got %d", replicas)
 	}
-	cfg.Replicas = req.Replicas
-	if req.Seed != 0 {
-		cfg.Seed = req.Seed
+	cfg.Replicas = replicas
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	return cfg, nil
 }
@@ -265,49 +328,3 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
 }
-
-// lruCache is a minimal most-recently-used cache of completed results.
-// Callers hold s.mu around every method.
-type lruCache struct {
-	cap   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
-}
-
-type lruEntry struct {
-	key string
-	res *report.Result
-}
-
-func newLRU(capacity int) *lruCache {
-	if capacity <= 0 {
-		capacity = DefaultCacheSize
-	}
-	return &lruCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
-}
-
-func (c *lruCache) get(key string) (*report.Result, bool) {
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
-}
-
-func (c *lruCache) add(key string, res *report.Result) {
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).res = res
-		c.order.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
-	for len(c.items) > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
-	}
-}
-
-// len reports the number of cached results (tests).
-func (c *lruCache) len() int { return len(c.items) }

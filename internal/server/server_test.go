@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 )
 
@@ -22,6 +23,22 @@ func stubResult(id string) *report.Result {
 	tb := report.New("stub", "k", "v")
 	tb.AddCells(report.Str(id), report.Int(1))
 	return &report.Result{Experiment: id, Title: "stub", Kind: report.KindTable, Tables: []*report.Table{tb}}
+}
+
+// newTestServer builds the service and its HTTP test harness, closing
+// both at test end.
+func newTestServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return srv
 }
 
 func getJSON(t *testing.T, srv *httptest.Server, path string, status int, into any) {
@@ -61,11 +78,29 @@ func postJSON(t *testing.T, srv *httptest.Server, path, body string, status int,
 	return raw
 }
 
+func deleteJSON(t *testing.T, srv *httptest.Server, path string, status int, into any) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != status {
+		t.Fatalf("DELETE %s = %d, want %d: %s", path, resp.StatusCode, status, raw)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("DELETE %s: invalid JSON: %v\n%s", path, err, raw)
+		}
+	}
+}
+
 // TestListExperiments asserts the metadata endpoint surfaces the full
 // registry with complete metadata.
 func TestListExperiments(t *testing.T) {
-	srv := httptest.NewServer(New(Options{}).Handler())
-	defer srv.Close()
+	srv := newTestServer(t, Options{})
 	var list ListResponse
 	getJSON(t, srv, "/v1/experiments", http.StatusOK, &list)
 	if len(list.Experiments) != len(experiments.IDs()) {
@@ -81,8 +116,7 @@ func TestListExperiments(t *testing.T) {
 // TestRunRoundTrip runs a cheap (no-training) experiment through the full
 // HTTP path and re-fetches it by key.
 func TestRunRoundTrip(t *testing.T) {
-	srv := httptest.NewServer(New(Options{}).Handler())
-	defer srv.Close()
+	srv := newTestServer(t, Options{})
 
 	var run RunResponse
 	postJSON(t, srv, "/v1/experiments/table4/run", `{"scale":"test"}`, http.StatusOK, &run)
@@ -99,7 +133,7 @@ func TestRunRoundTrip(t *testing.T) {
 		t.Errorf("config echo = %+v", run.Result.Config)
 	}
 
-	// Identical run again: served from the LRU.
+	// Identical run again: served from the completed-result store.
 	var again RunResponse
 	postJSON(t, srv, "/v1/experiments/table4/run", `{"scale":"test"}`, http.StatusOK, &again)
 	if !again.Cached {
@@ -115,8 +149,7 @@ func TestRunRoundTrip(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	srv := httptest.NewServer(New(Options{}).Handler())
-	defer srv.Close()
+	srv := newTestServer(t, Options{})
 	postJSON(t, srv, "/v1/experiments/nope/run", `{}`, http.StatusNotFound, nil)
 	postJSON(t, srv, "/v1/experiments/table4/run", `{"scale":"gigantic"}`, http.StatusBadRequest, nil)
 	postJSON(t, srv, "/v1/experiments/table4/run", `{"replicas":-1}`, http.StatusBadRequest, nil)
@@ -124,19 +157,175 @@ func TestRunValidation(t *testing.T) {
 	getJSON(t, srv, "/v1/results/no-such-key", http.StatusNotFound, nil)
 }
 
-// TestConcurrentIdenticalRequestsSingleflight proves the server-level
-// singleflight: N concurrent identical POSTs execute the runner once and
-// every client receives the same completed result.
+func TestSubmitValidation(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	postJSON(t, srv, "/v1/jobs", `{}`, http.StatusBadRequest, nil)
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"nope"}`, http.StatusNotFound, nil)
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"table4","scale":"gigantic"}`, http.StatusBadRequest, nil)
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"table4","bogus":1}`, http.StatusBadRequest, nil)
+	getJSON(t, srv, "/v1/jobs/no-such-job", http.StatusNotFound, nil)
+	deleteJSON(t, srv, "/v1/jobs/no-such-job", http.StatusNotFound, nil)
+}
+
+// TestJobSubmitPollFetch drives the asynchronous workflow end to end:
+// submit returns immediately with a queued/running job, polling exposes
+// live progress, and the completed job carries the result that the
+// results endpoint then serves by key.
+func TestJobSubmitPollFetch(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := newTestServer(t, Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+		progress := experiments.ProgressFrom(ctx)
+		progress(0, 5)
+		progress(2, 5)
+		close(started)
+		<-release
+		progress(5, 5)
+		return stubResult(id), nil
+	}})
+
+	var snap jobs.Snapshot
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"fig1","scale":"test","replicas":1}`, http.StatusAccepted, &snap)
+	if snap.ID == "" || snap.State.Terminal() {
+		t.Fatalf("submit snapshot = %+v", snap)
+	}
+	if snap.Key != "fig1-test-r1-s20220622" {
+		t.Fatalf("key = %q", snap.Key)
+	}
+	<-started
+
+	var mid jobs.Snapshot
+	getJSON(t, srv, "/v1/jobs/"+snap.ID, http.StatusOK, &mid)
+	if mid.State != jobs.StateRunning {
+		t.Fatalf("mid-run state = %s", mid.State)
+	}
+	if mid.Progress.Done != 2 || mid.Progress.Total != 5 {
+		t.Fatalf("mid-run progress = %+v, want 2/5", mid.Progress)
+	}
+	if mid.Result != nil {
+		t.Fatal("running job exposed a result")
+	}
+
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	var done jobs.Snapshot
+	for {
+		getJSON(t, srv, "/v1/jobs/"+snap.ID, http.StatusOK, &done)
+		if done.State.Terminal() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if done.State != jobs.StateDone || done.Result == nil || done.Result.Experiment != "fig1" {
+		t.Fatalf("final snapshot = %+v", done)
+	}
+	if done.Progress.Done != 5 || done.Progress.Total != 5 {
+		t.Fatalf("final progress = %+v, want 5/5", done.Progress)
+	}
+
+	var fetched RunResponse
+	getJSON(t, srv, "/v1/results/"+snap.Key, http.StatusOK, &fetched)
+	if fetched.Result == nil || fetched.Result.Experiment != "fig1" {
+		t.Fatalf("fetched result = %+v", fetched.Result)
+	}
+
+	// Submitting the identical config again is served instantly: 200 (not
+	// 202), born done, cached.
+	var cached jobs.Snapshot
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"fig1","scale":"test","replicas":1}`, http.StatusOK, &cached)
+	if cached.State != jobs.StateDone || !cached.Cached || cached.Result == nil {
+		t.Fatalf("resubmission snapshot = %+v", cached)
+	}
+}
+
+// TestJobCancellation is the satellite acceptance test: DELETE on a
+// running job reaches the training loop's context promptly, and the job
+// reports cancelled with a typed error.
+func TestJobCancellation(t *testing.T) {
+	started := make(chan struct{})
+	observed := make(chan struct{})
+	srv := newTestServer(t, Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+		close(started)
+		<-ctx.Done() // training checks ctx at every batch boundary
+		close(observed)
+		return nil, ctx.Err()
+	}})
+
+	var snap jobs.Snapshot
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"table2"}`, http.StatusAccepted, &snap)
+	<-started
+
+	var cancelled jobs.Snapshot
+	deleteJSON(t, srv, "/v1/jobs/"+snap.ID, http.StatusOK, &cancelled)
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("DELETE did not cancel the training context promptly")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, srv, "/v1/jobs/"+snap.ID, http.StatusOK, &cancelled)
+		if cancelled.State.Terminal() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cancelled.State != jobs.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", cancelled.State)
+	}
+	if cancelled.Error == nil || cancelled.Error.Kind != jobs.ErrKindCancelled {
+		t.Fatalf("error = %+v", cancelled.Error)
+	}
+	// Cancelling a terminal job is an idempotent no-op.
+	deleteJSON(t, srv, "/v1/jobs/"+snap.ID, http.StatusOK, &cancelled)
+	if cancelled.State != jobs.StateCancelled {
+		t.Fatalf("second DELETE changed state to %s", cancelled.State)
+	}
+}
+
+// TestQueueFullReturns503: when the bounded job queue is at capacity,
+// further submissions get backpressure, not unbounded queueing.
+func TestQueueFullReturns503(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv := newTestServer(t, Options{Workers: 1, QueueDepth: 1, Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return stubResult(id), nil
+	}})
+	saw503 := false
+	for i := 0; i < 8 && !saw503; i++ {
+		body := fmt.Sprintf(`{"experiment":"fig1","seed":%d}`, 100+i)
+		resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+		} else if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !saw503 {
+		t.Fatal("bounded queue never pushed back with 503")
+	}
+}
+
+// TestConcurrentIdenticalRequestsSingleflight proves the engine-level
+// dedup: N concurrent identical POSTs execute the runner once and every
+// client receives the same completed result.
 func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 	var calls atomic.Int64
 	release := make(chan struct{})
-	s := New(Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+	srv := newTestServer(t, Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
 		calls.Add(1)
-		<-release // hold every request in the same flight window
+		<-release // hold every request in the same job window
 		return stubResult(id), nil
 	}})
-	srv := httptest.NewServer(s.Handler())
-	defer srv.Close()
 
 	const clients = 8
 	responses := make([]RunResponse, clients)
@@ -161,7 +350,7 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 			}
 		}(i)
 	}
-	// Wait until the flight owner is inside the runner, then release it.
+	// Wait until the job owner is inside the runner, then release it.
 	deadline := time.Now().Add(10 * time.Second)
 	for calls.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
@@ -175,8 +364,8 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 	if got := calls.Load(); got != 1 {
 		t.Fatalf("%d concurrent identical requests executed the runner %d times, want exactly 1", clients, got)
 	}
-	// Every client sees the same key and result, whether it subscribed to
-	// the flight or arrived just after completion and hit the LRU.
+	// Every client sees the same key and result, whether it joined the
+	// live job or arrived just after completion and hit the store.
 	want, _ := json.Marshal(responses[0].Result)
 	for i := 1; i < clients; i++ {
 		got, _ := json.Marshal(responses[i].Result)
@@ -186,7 +375,7 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 	}
 }
 
-// TestConcurrentTable2RunsTrainOnce is the acceptance-criteria test: two
+// TestConcurrentTable2RunsTrainOnce is an acceptance-criteria test: two
 // concurrent identical POST /v1/experiments/table2/run requests must train
 // each replica population exactly once. The experiments package counts
 // actual trainings (cache hits excluded); table2's grid is 10 task/device
@@ -199,8 +388,7 @@ func TestConcurrentTable2RunsTrainOnce(t *testing.T) {
 		t.Skip("training-backed experiment")
 	}
 	experiments.ResetCache()
-	srv := httptest.NewServer(New(Options{}).Handler())
-	defer srv.Close()
+	srv := newTestServer(t, Options{})
 
 	before := experiments.PopulationTrains()
 	const clients = 2
@@ -246,20 +434,103 @@ func TestConcurrentTable2RunsTrainOnce(t *testing.T) {
 	}
 }
 
-// TestAbandonedFlightCancelled proves the refcounted cancellation: when
-// every subscribed client disconnects, the flight's context is cancelled so
-// training stops burning the pool.
+// TestRestartServesFromDisk is the PR's acceptance-criteria test: a
+// result computed before a server restart is served from the on-disk
+// store by the restarted server with zero additional populations
+// trained.
+func TestRestartServesFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	dir := t.TempDir()
+	experiments.ResetCache()
+
+	s1, err := New(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(s1.Handler())
+	var first RunResponse
+	{
+		resp, err := srv1.Client().Post(srv1.URL+"/v1/experiments/fig2/run", "application/json",
+			strings.NewReader(`{"scale":"test","replicas":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("first run: status %d: %s", resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &first); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first.Cached || first.Result == nil {
+		t.Fatalf("first run = %+v", first)
+	}
+	srv1.Close()
+	s1.Close()
+
+	// "Restart": a fresh server process knows nothing in memory — wipe the
+	// process-global population cache so only the on-disk store can dedup.
+	experiments.ResetCache()
+	before := experiments.PopulationTrains()
+
+	s2, err := New(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		srv2.Close()
+		s2.Close()
+	}()
+
+	var snap jobs.Snapshot
+	postJSON2 := func(path, body string, status int, into any) {
+		t.Helper()
+		resp, err := srv2.Client().Post(srv2.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Fatalf("POST %s = %d, want %d: %s", path, resp.StatusCode, status, raw)
+		}
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 (not 202): the job is born done from the persisted result.
+	postJSON2("/v1/jobs", `{"experiment":"fig2","scale":"test","replicas":1}`, http.StatusOK, &snap)
+	if snap.State != jobs.StateDone || !snap.Cached || snap.Result == nil {
+		t.Fatalf("post-restart snapshot = %+v", snap)
+	}
+	if trained := experiments.PopulationTrains() - before; trained != 0 {
+		t.Fatalf("post-restart submission trained %d populations, want 0 (served from disk)", trained)
+	}
+	// The served result is the stored one, bit-for-bit at the JSON layer.
+	a, _ := json.Marshal(first.Result)
+	b, _ := json.Marshal(snap.Result)
+	if string(a) != string(b) {
+		t.Fatalf("restarted server served a different result:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestAbandonedFlightCancelled proves the attached-job contract on the
+// synchronous endpoint: when every subscribed client disconnects, the
+// job's context is cancelled so training stops burning the pool.
 func TestAbandonedFlightCancelled(t *testing.T) {
 	started := make(chan struct{})
 	cancelled := make(chan error, 1)
-	s := New(Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+	srv := newTestServer(t, Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
 		close(started)
 		<-ctx.Done() // simulate training that aborts at the next batch
 		cancelled <- ctx.Err()
 		return nil, ctx.Err()
 	}})
-	srv := httptest.NewServer(s.Handler())
-	defer srv.Close()
 
 	reqCtx, cancelReq := context.WithCancel(context.Background())
 	req, _ := http.NewRequestWithContext(reqCtx, http.MethodPost,
@@ -274,32 +545,32 @@ func TestAbandonedFlightCancelled(t *testing.T) {
 	select {
 	case <-started:
 	case <-time.After(10 * time.Second):
-		t.Fatal("flight never started")
+		t.Fatal("job never started")
 	}
 	cancelReq() // the only client walks away
 
 	select {
 	case err := <-cancelled:
 		if err != context.Canceled {
-			t.Fatalf("flight ctx err = %v, want context.Canceled", err)
+			t.Fatalf("job ctx err = %v, want context.Canceled", err)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("abandoned flight was never cancelled")
+		t.Fatal("abandoned job was never cancelled")
 	}
 	if err := <-errCh; err == nil {
 		t.Fatal("client request unexpectedly succeeded")
 	}
 }
 
-// TestLateClientAfterAbandonedFlightGetsFreshRun pins the doomed-flight
-// window: once the last subscriber cancels a flight, a new identical
-// request must start a fresh run — even while the cancelled flight is
-// still winding down — rather than inherit its cancellation error.
+// TestLateClientAfterAbandonedFlightGetsFreshRun pins the doomed-job
+// window: once the last waiter cancels a job, a new identical request
+// must start a fresh run — even while the cancelled job is still winding
+// down — rather than inherit its cancellation error.
 func TestLateClientAfterAbandonedFlightGetsFreshRun(t *testing.T) {
 	var calls atomic.Int64
 	firstStarted := make(chan struct{})
 	firstCancelled := make(chan struct{})
-	s := New(Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+	srv := newTestServer(t, Options{Workers: 2, Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
 		if calls.Add(1) == 1 {
 			close(firstStarted)
 			<-ctx.Done()
@@ -309,8 +580,6 @@ func TestLateClientAfterAbandonedFlightGetsFreshRun(t *testing.T) {
 		}
 		return stubResult(id), nil
 	}})
-	srv := httptest.NewServer(s.Handler())
-	defer srv.Close()
 
 	reqCtx, cancelReq := context.WithCancel(context.Background())
 	req, _ := http.NewRequestWithContext(reqCtx, http.MethodPost,
@@ -322,10 +591,10 @@ func TestLateClientAfterAbandonedFlightGetsFreshRun(t *testing.T) {
 	select {
 	case <-firstCancelled:
 	case <-time.After(10 * time.Second):
-		t.Fatal("abandoned flight was never cancelled")
+		t.Fatal("abandoned job was never cancelled")
 	}
 
-	// The doomed flight is still inside its wind-down sleep; an identical
+	// The doomed job is still inside its wind-down sleep; an identical
 	// request now must run fresh and succeed.
 	var fresh RunResponse
 	postJSON(t, srv, "/v1/experiments/fig1/run", `{}`, http.StatusOK, &fresh)
@@ -333,7 +602,7 @@ func TestLateClientAfterAbandonedFlightGetsFreshRun(t *testing.T) {
 		t.Fatalf("fresh run result = %+v", fresh.Result)
 	}
 	if got := calls.Load(); got != 2 {
-		t.Fatalf("runner called %d times, want 2 (doomed flight + fresh run)", got)
+		t.Fatalf("runner called %d times, want 2 (doomed job + fresh run)", got)
 	}
 }
 
@@ -350,40 +619,17 @@ func TestResultKeyResolvesDefaults(t *testing.T) {
 	}
 }
 
-func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
-	c.add("a", stubResult("a"))
-	c.add("b", stubResult("b"))
-	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
-		t.Fatal("a missing")
-	}
-	c.add("c", stubResult("c"))
-	if c.len() != 2 {
-		t.Fatalf("len = %d", c.len())
-	}
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b should have been evicted")
-	}
-	for _, k := range []string{"a", "c"} {
-		if _, ok := c.get(k); !ok {
-			t.Fatalf("%s missing", k)
-		}
-	}
-}
-
 // TestServerRunErrorSurfaced maps runner failures onto HTTP 500 with a
 // JSON error body.
 func TestServerRunErrorSurfaced(t *testing.T) {
-	s := New(Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+	srv := newTestServer(t, Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
 		return nil, fmt.Errorf("boom")
 	}})
-	srv := httptest.NewServer(s.Handler())
-	defer srv.Close()
 	var e errorResponse
 	postJSON(t, srv, "/v1/experiments/fig1/run", `{}`, http.StatusInternalServerError, &e)
 	if !strings.Contains(e.Error, "boom") {
 		t.Fatalf("error body = %+v", e)
 	}
-	// A failed flight must not be cached: the next request re-executes.
+	// A failed job must not be cached: the next request re-executes.
 	postJSON(t, srv, "/v1/experiments/fig1/run", `{}`, http.StatusInternalServerError, &e)
 }

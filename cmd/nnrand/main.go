@@ -8,6 +8,9 @@
 //	nnrand [flags] <experiment> [<experiment>...]
 //	nnrand [flags] all
 //	nnrand list
+//	nnrand devices
+//	nnrand workloads
+//	nnrand grid   [-spec FILE | -tasks T,... -devices D,...] [flags]
 //	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-jobs N] [-queue N]
 //	nnrand submit [-addr URL] [-scale S] [-replicas N] [-seed N] <experiment>...
 //	nnrand status [-addr URL] <job-id>...
@@ -22,6 +25,13 @@
 //	-workers  N                 worker pool size (default: GOMAXPROCS)
 //	-tsv                        emit tab-separated values instead of tables
 //	-json                       emit a JSON array of typed results
+//
+// `grid` composes and runs a custom experiment: declare the grid either
+// as a JSON spec file (-spec, "-" for stdin; see internal/grid) or
+// inline via -tasks/-devices/-variants/-metrics comma lists, then run it
+// locally, print only its cost estimate (-estimate), or submit it to a
+// running server (-submit -addr URL). `devices` and `workloads` list the
+// catalogs grid specs name.
 //
 // `serve` starts the embeddable HTTP/JSON service (see internal/server
 // and docs/api.md); with -store DIR completed results persist across
@@ -46,7 +56,9 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -69,7 +81,7 @@ func run(args []string) error {
 	tsv := fs.Bool("tsv", false, "emit tab-separated values")
 	jsonOut := fs.Bool("json", false, "emit a JSON array of typed results")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: nnrand [flags] <experiment>... | all | list | serve\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
+		fmt.Fprintf(fs.Output(), "usage: nnrand [flags] <experiment>... | all | list | devices | workloads | grid | serve\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
 		fs.PrintDefaults()
 	}
 	// Accept flags before and after positional arguments (`nnrand -json
@@ -116,6 +128,8 @@ func run(args []string) error {
 	switch ids[0] {
 	case "serve":
 		return serveCmd(subArgs)
+	case "grid":
+		return gridCmd(subArgs)
 	case "submit":
 		return submitCmd(subArgs)
 	case "status":
@@ -127,6 +141,12 @@ func run(args []string) error {
 	}
 	if len(ids) == 1 && ids[0] == "list" {
 		return list(os.Stdout)
+	}
+	if len(ids) == 1 && ids[0] == "devices" {
+		return listDevices(os.Stdout)
+	}
+	if len(ids) == 1 && ids[0] == "workloads" {
+		return listWorkloads(os.Stdout)
 	}
 	// Expand `all` wherever it appears, then run each experiment at most
 	// once per invocation, keeping first-occurrence order (`nnrand fig1
@@ -220,11 +240,182 @@ func list(w io.Writer) error {
 	return tb.Render(w)
 }
 
+// listDevices prints the simulated accelerator catalog with the aliases
+// grid specs accept.
+func listDevices(w io.Writer) error {
+	tb := report.New("", "name", "alias", "arch", "cuda cores", "notes")
+	for _, d := range device.Describe() {
+		var notes []string
+		if d.TensorCores {
+			notes = append(notes, "tensor cores")
+		}
+		if d.Systolic {
+			notes = append(notes, "systolic")
+		}
+		if d.Deterministic {
+			notes = append(notes, "deterministic")
+		}
+		cores := ""
+		if d.CUDACores > 0 {
+			cores = fmt.Sprintf("%d", d.CUDACores)
+		}
+		tb.AddStrings(d.Name, d.Alias, d.Arch, cores, strings.Join(notes, ", "))
+	}
+	return tb.Render(w)
+}
+
+// listWorkloads prints the training-recipe catalog grid specs name.
+func listWorkloads(w io.Writer) error {
+	tb := report.New("", "name", "alias", "epochs (test/quick/full)", "batch", "lr", "augment")
+	for _, t := range experiments.Workloads() {
+		tb.AddStrings(t.Name, t.Alias,
+			fmt.Sprintf("%d/%d/%d", t.Epochs[0], t.Epochs[1], t.Epochs[2]),
+			fmt.Sprintf("%d", t.Batch),
+			fmt.Sprintf("%g", t.LR),
+			t.Augment)
+	}
+	return tb.Render(w)
+}
+
+// gridCmd composes a custom grid spec from a JSON file or inline flags
+// and runs it locally (default), prints its cost estimate (-estimate), or
+// submits it to a running server (-submit).
+func gridCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand grid", flag.ContinueOnError)
+	specFile := fs.String("spec", "", "JSON grid spec file ('-' = stdin); overrides the inline axis flags")
+	tasks := fs.String("tasks", "", "comma-separated workload names (see `nnrand workloads`)")
+	devices := fs.String("devices", "", "comma-separated device names (see `nnrand devices`)")
+	variants := fs.String("variants", "", "comma-separated noise variants (default ALGO+IMPL,ALGO,IMPL)")
+	metrics := fs.String("metrics", "", "comma-separated metric columns (default acc,stddev_acc,churn,l2)")
+	title := fs.String("title", "", "rendered table title")
+	scaleFlag := fs.String("scale", "quick", "workload scale: test, quick or full")
+	replicas := fs.Int("replicas", 0, "replicas per variant (0 = scale default)")
+	seed := fs.Uint64("seed", 20220622, "base seed for all seed policies")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	estimate := fs.Bool("estimate", false, "print the cost estimate and exit without training")
+	submit := fs.Bool("submit", false, "submit to a running server instead of running locally")
+	addr := fs.String("addr", "http://localhost:8080", "server base URL (with -submit)")
+	tsv := fs.Bool("tsv", false, "emit tab-separated values")
+	jsonOut := fs.Bool("json", false, "emit the typed result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("grid: unexpected argument %q (the grid is declared via flags or -spec)", fs.Arg(0))
+	}
+
+	var spec grid.Spec
+	if *specFile != "" {
+		var raw []byte
+		var err error
+		if *specFile == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*specFile)
+		}
+		if err != nil {
+			return err
+		}
+		if spec, err = grid.Parse(raw); err != nil {
+			return err
+		}
+	} else {
+		spec = grid.Spec{
+			Tasks:    splitList(*tasks),
+			Devices:  splitList(*devices),
+			Variants: splitList(*variants),
+			Metrics:  splitList(*metrics),
+		}
+	}
+	if *title != "" {
+		spec.Title = *title
+	}
+
+	// Compile up front: a typo'd name fails here, before any training (and
+	// before a server round-trip).
+	plan, err := experiments.CompileSpec(spec)
+	if err != nil {
+		return err
+	}
+	scale, err := data.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	cfg := plan.Config(experiments.Config{Scale: scale, Replicas: *replicas, Seed: *seed})
+	est := plan.Estimate(cfg)
+	fmt.Fprintf(os.Stderr, "nnrand: grid %s: %d cells x %d replicas = %d training runs (%d total epochs)\n",
+		plan.ID(), est.Cells, est.ReplicasPerCell, est.TrainingRuns, est.TotalEpochs)
+	if *estimate {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			GridID   string               `json:"grid_id"`
+			Estimate experiments.Estimate `json:"estimate"`
+		}{plan.ID(), est})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *submit {
+		if *tsv {
+			return fmt.Errorf("grid: -tsv renders a completed result and does not apply to -submit (poll with `nnrand wait -tsv`)")
+		}
+		c := newClient(*addr)
+		var resp server.GridResponse
+		req := server.GridRequest{
+			Grid:       spec,
+			RunRequest: server.RunRequest{Scale: *scaleFlag, Replicas: *replicas, Seed: *seed},
+		}
+		if err := c.do(ctx, http.MethodPost, "/v1/grid", req, &resp); err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resp)
+		}
+		printSnapshot(os.Stdout, resp.Snapshot)
+		return nil
+	}
+
+	sched.SetWorkers(*workers)
+	// Run the plan that was validated and estimated above — one
+	// compilation, one identity.
+	res, err := experiments.DefaultPopulations().RunPlan(ctx, plan, cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonOut:
+		return report.RenderJSONResults(os.Stdout, []*report.Result{res})
+	case *tsv:
+		return res.RenderTSV(os.Stdout)
+	default:
+		return res.RenderText(os.Stdout)
+	}
+}
+
+// splitList parses a comma-separated flag into trimmed, non-empty items.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // isSubcommand reports whether the first positional argument names a
 // sub-command that owns the rest of the argument list.
 func isSubcommand(name string) bool {
 	switch name {
-	case "serve", "submit", "status", "wait", "cancel":
+	case "serve", "grid", "submit", "status", "wait", "cancel":
 		return true
 	}
 	return false

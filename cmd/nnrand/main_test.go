@@ -288,3 +288,127 @@ func TestGlobalFlagsBeforeClientSubcommandRejected(t *testing.T) {
 		}
 	}
 }
+
+func TestDevicesAndWorkloadsSubcommands(t *testing.T) {
+	if err := run([]string{"devices"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"workloads"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridEstimate: the offline estimate path compiles the spec, prices
+// it, and trains nothing.
+func TestGridEstimate(t *testing.T) {
+	before := experiments.PopulationTrains()
+	err := run([]string{"grid", "-estimate",
+		"-tasks", "resnet18-cifar10", "-devices", "v100,tpuv2", "-variants", "ALGO+IMPL,IMPL",
+		"-scale", "test", "-replicas", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if experiments.PopulationTrains() != before {
+		t.Fatal("-estimate trained populations")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if err := run([]string{"grid", "-tasks", "nope", "-devices", "v100"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("unknown task: err = %v", err)
+	}
+	if err := run([]string{"grid", "-tasks", "smallcnn-cifar10"}); err == nil ||
+		!strings.Contains(err.Error(), "no devices") {
+		t.Fatalf("missing devices: err = %v", err)
+	}
+	if err := run([]string{"grid", "-tasks", "smallcnn-cifar10", "-devices", "v100", "stray"}); err == nil ||
+		!strings.Contains(err.Error(), "stray") {
+		t.Fatalf("stray positional: err = %v", err)
+	}
+	if err := run([]string{"grid", "-spec", "/does/not/exist.json"}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+// TestGridSpecFileRoundTrip writes a JSON spec, runs it locally at a
+// trivial size, and checks the rendered result.
+func TestGridSpecFileRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	spec := `{"tasks":["smallcnn-cifar10"],"devices":["tpuv2"],"variants":["IMPL"],"recipes":[{"epochs":1}],"metrics":["churn","l2"]}`
+	path := t.TempDir() + "/spec.json"
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"grid", "-spec", path, "-scale", "test", "-replicas", "1", "-json"})
+	})
+	var results []report.Result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("grid -json output invalid: %v\n%s", err, out)
+	}
+	if len(results) != 1 || !strings.HasPrefix(results[0].Experiment, "grid-") {
+		t.Fatalf("grid result = %+v", results)
+	}
+	headers := results[0].Tables[0].Headers
+	want := []string{"task", "device", "variant", "recipe", "churn(%)", "l2"}
+	if len(headers) != len(want) {
+		t.Fatalf("headers = %v, want %v", headers, want)
+	}
+	for i := range want {
+		if headers[i] != want[i] {
+			t.Fatalf("headers = %v, want %v", headers, want)
+		}
+	}
+}
+
+// TestGridSubmitSubcommand submits a grid to a stub-backed test server
+// and checks a job line comes back.
+func TestGridSubmitSubcommand(t *testing.T) {
+	srv := startJobServer(t, server.Options{
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			tb := report.New("stub", "k")
+			tb.AddCells(report.Str(plan.ID()))
+			return &report.Result{Experiment: plan.ID(), Title: "stub", Kind: report.KindTable,
+				Tables: []*report.Table{tb}}, nil
+		},
+	})
+	out := captureStdout(t, func() error {
+		return run([]string{"grid", "-submit", "-addr", srv.URL,
+			"-tasks", "smallcnn-cifar10", "-devices", "v100", "-variants", "IMPL",
+			"-scale", "test", "-replicas", "1"})
+	})
+	if !strings.HasPrefix(out, "job-") || !strings.Contains(out, "grid-") {
+		t.Fatalf("grid -submit output = %q", out)
+	}
+}
+
+// TestGridSubmitOutputFlags: -json emits the GridResponse; -tsv is
+// rejected (there is no completed result to tabulate at submit time).
+func TestGridSubmitOutputFlags(t *testing.T) {
+	srv := startJobServer(t, server.Options{
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			tb := report.New("stub", "k")
+			tb.AddCells(report.Str(plan.ID()))
+			return &report.Result{Experiment: plan.ID(), Title: "stub", Kind: report.KindTable,
+				Tables: []*report.Table{tb}}, nil
+		},
+	})
+	out := captureStdout(t, func() error {
+		return run([]string{"grid", "-submit", "-json", "-addr", srv.URL,
+			"-tasks", "smallcnn-cifar10", "-devices", "v100", "-scale", "test", "-replicas", "1"})
+	})
+	var resp server.GridResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("grid -submit -json output invalid: %v\n%s", err, out)
+	}
+	if resp.GridID == "" || resp.ID == "" {
+		t.Fatalf("response = %+v", resp)
+	}
+	if err := run([]string{"grid", "-submit", "-tsv", "-addr", srv.URL,
+		"-tasks", "smallcnn-cifar10", "-devices", "v100"}); err == nil {
+		t.Fatal("grid -submit -tsv accepted")
+	}
+}

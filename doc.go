@@ -32,12 +32,25 @@
 // Result (render it with RenderText, RenderTSV or RenderJSON):
 //
 //	res, err := repro.RunExperiment(ctx, "fig5", repro.QuickConfig())
+//
+// Beyond the paper's fixed tables, experiments are declarative: a
+// GridSpec names workloads, devices and noise variants from the catalogs
+// (Workloads, Devices) and RunGrid trains exactly that grid, reusing any
+// population a paper artifact already trained:
+//
+//	spec := repro.GridSpec{
+//		Tasks:   []string{"ResNet18 CIFAR-10"},
+//		Devices: []string{"V100", "TPUv2"},
+//	}
+//	res, err := repro.RunGrid(ctx, spec, repro.QuickConfig())
 package repro
 
 import (
 	"context"
 
+	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/report"
 )
 
@@ -67,4 +80,30 @@ func ExperimentList() []ExperimentMeta { return experiments.All() }
 // training at the next batch boundary.
 func RunExperiment(ctx context.Context, id string, cfg Config) (*Result, error) {
 	return experiments.Run(ctx, id, cfg)
+}
+
+// GridSpec aliases the declarative grid model (internal/grid): tasks ×
+// devices × variants, optional recipe overrides and metric selection.
+type GridSpec = grid.Spec
+
+// GridRecipe aliases a grid recipe override (lr, batch, epochs, augment).
+type GridRecipe = grid.Recipe
+
+// DeviceInfo aliases the simulated accelerator description.
+type DeviceInfo = device.Info
+
+// WorkloadInfo aliases the training-recipe description.
+type WorkloadInfo = experiments.Workload
+
+// Devices lists the simulated accelerator catalog grid specs may name.
+func Devices() []DeviceInfo { return device.Describe() }
+
+// Workloads lists the training-recipe catalog grid specs may name.
+func Workloads() []WorkloadInfo { return experiments.Workloads() }
+
+// RunGrid compiles and runs a custom experiment grid, sharing trained
+// populations with the paper artifacts where recipes match. The result's
+// Experiment field is the grid's canonical "grid-<hash>" identity.
+func RunGrid(ctx context.Context, spec GridSpec, cfg Config) (*Result, error) {
+	return experiments.RunSpec(ctx, spec, cfg)
 }

@@ -275,3 +275,26 @@ func TestSummarizeSubgroups(t *testing.T) {
 		}
 	}
 }
+
+// TestParseVariant pins the label round-trip and the punctuation-free
+// spellings grid specs may carry.
+func TestParseVariant(t *testing.T) {
+	for _, v := range []Variant{AlgoImpl, Algo, Impl, Control, DataOrderOnly} {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	for in, want := range map[string]Variant{
+		"algoimpl": AlgoImpl, "algo+impl": AlgoImpl, "impl": Impl,
+		"dataorder": DataOrderOnly, "data-order": DataOrderOnly, "control": Control,
+	} {
+		got, err := ParseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseVariant("CHAOS"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

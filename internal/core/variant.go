@@ -7,6 +7,11 @@
 // per-class and sub-group variance.
 package core
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Variant names one of the paper's experimental arms (Section 2.2), plus
 // the data-order-only arm used by Figure 6.
 type Variant int
@@ -48,6 +53,25 @@ func (v Variant) String() string {
 
 // StandardVariants are the three arms every comparison figure reports.
 var StandardVariants = []Variant{AlgoImpl, Algo, Impl}
+
+// ParseVariant maps a paper label onto its Variant, case-insensitively and
+// tolerating the punctuation-free spellings ("algoimpl", "dataorder") that
+// CLI flags and JSON specs tend to carry.
+func ParseVariant(name string) (Variant, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "ALGO+IMPL", "ALGOIMPL", "ALGO_IMPL", "ALGO-IMPL":
+		return AlgoImpl, nil
+	case "ALGO":
+		return Algo, nil
+	case "IMPL":
+		return Impl, nil
+	case "CONTROL":
+		return Control, nil
+	case "DATA-ORDER", "DATAORDER", "DATA_ORDER":
+		return DataOrderOnly, nil
+	}
+	return 0, fmt.Errorf("core: unknown variant %q (ALGO+IMPL, ALGO, IMPL, CONTROL or DATA-ORDER)", name)
+}
 
 // NoiseSpec says which stochastic factors vary across replicas under a
 // variant. Everything not varied is pinned to the experiment's base seed.

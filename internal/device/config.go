@@ -20,7 +20,10 @@
 // determinism patches (TF_DETERMINISTIC_OPS / cuDNN deterministic algos).
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Arch identifies a simulated accelerator micro-architecture.
 type Arch string
@@ -60,21 +63,84 @@ var (
 // Catalog lists every simulated part, in the order used by figures.
 var Catalog = []Config{CPU, P100, V100, RTX5000, RTX5000TC, T4, TPUv2}
 
-// ByName returns the catalog entry with the given name.
+// Alias is the canonical lookup key of a device name: lowercase with all
+// punctuation and spacing dropped, so "RTX5000 TC", "rtx5000tc" and
+// "rtx5000-tc" address the same part. ByName matches on it.
+func Alias(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ByName returns the catalog entry matching the given name or alias,
+// case- and punctuation-insensitively ("v100", "RTX5000 TC", "rtx5000tc").
 func ByName(name string) (Config, error) {
+	want := Alias(name)
 	for _, c := range Catalog {
-		if c.Name == name {
+		if Alias(c.Name) == want {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("device: unknown device %q", name)
+	names := make([]string, len(Catalog))
+	for i, c := range Catalog {
+		names[i] = c.Name
+	}
+	return Config{}, fmt.Errorf("device: unknown device %q (known: %s)", name, strings.Join(names, ", "))
+}
+
+// Info is the JSON-ready description of one catalog entry, served by
+// `nnrand devices` and GET /v1/devices so users can compose grid specs
+// without reading source.
+type Info struct {
+	Name        string `json:"name"`
+	Alias       string `json:"alias"`
+	Arch        string `json:"arch"`
+	CUDACores   int    `json:"cuda_cores,omitempty"`
+	TensorCores bool   `json:"tensor_cores,omitempty"`
+	Systolic    bool   `json:"systolic,omitempty"`
+	// Deterministic reports whether replicas on this part are bit-identical
+	// given identical inputs (systolic execution or no parallel reduction).
+	Deterministic bool `json:"deterministic"`
+}
+
+// Describe lists the catalog as Info values, in catalog order.
+func Describe() []Info {
+	out := make([]Info, len(Catalog))
+	for i, c := range Catalog {
+		out[i] = Info{
+			Name:          c.Name,
+			Alias:         Alias(c.Name),
+			Arch:          string(c.Arch),
+			CUDACores:     c.CUDACores,
+			TensorCores:   c.TensorCores,
+			Systolic:      c.Systolic,
+			Deterministic: c.DeterministicExecution(),
+		}
+	}
+	return out
+}
+
+// DeterministicExecution reports whether replicas on this part are
+// bit-identical given identical inputs: systolic parts and serial
+// (no-CUDA-core) parts have a fixed accumulation order, so no reduction
+// ever reorders. reorderChunks and the /v1/devices catalog both derive
+// from this one predicate.
+func (c Config) DeterministicExecution() bool {
+	return c.Systolic || c.CUDACores == 0
 }
 
 // reorderChunks returns how many scheduler-ordered partial sums a reduction
 // of length n splits into on this part. More CUDA cores mean more thread
 // blocks in flight and therefore more reordering freedom.
 func (c Config) reorderChunks(n int) int {
-	if c.Systolic || c.CUDACores == 0 {
+	if c.DeterministicExecution() {
 		return 1
 	}
 	chunks := c.CUDACores / 256 // P100: 14, V100: 20, RTX5000: 12, T4: 10

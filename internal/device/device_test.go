@@ -278,3 +278,64 @@ func TestFP16RoundQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestByNameAliases pins the lookup contract: catalog names resolve
+// case- and punctuation-insensitively, so grid specs can say "v100" or
+// "rtx5000tc" instead of reproducing exact catalog spelling.
+func TestByNameAliases(t *testing.T) {
+	cases := map[string]string{
+		"V100":       "V100",
+		"v100":       "V100",
+		"RTX5000 TC": "RTX5000 TC",
+		"rtx5000tc":  "RTX5000 TC",
+		"rtx5000-tc": "RTX5000 TC",
+		"Rtx5000":    "RTX5000",
+		"tpuv2":      "TPUv2",
+		"cpu":        "CPU",
+	}
+	for in, want := range cases {
+		got, err := ByName(in)
+		if err != nil || got.Name != want {
+			t.Errorf("ByName(%q) = %q, %v; want %q", in, got.Name, err, want)
+		}
+	}
+	if _, err := ByName("H100"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	// Every catalog entry has a unique alias (lookup can never be ambiguous).
+	seen := map[string]string{}
+	for _, c := range Catalog {
+		a := Alias(c.Name)
+		if prev, dup := seen[a]; dup {
+			t.Errorf("alias %q shared by %q and %q", a, prev, c.Name)
+		}
+		seen[a] = c.Name
+	}
+}
+
+// TestDescribe checks the JSON-ready catalog view used by `nnrand
+// devices` and GET /v1/devices.
+func TestDescribe(t *testing.T) {
+	infos := Describe()
+	if len(infos) != len(Catalog) {
+		t.Fatalf("Describe lists %d devices, catalog has %d", len(infos), len(Catalog))
+	}
+	for i, d := range infos {
+		if d.Name != Catalog[i].Name || d.Alias != Alias(d.Name) || d.Arch == "" {
+			t.Errorf("info %d = %+v", i, d)
+		}
+	}
+	byName := map[string]Info{}
+	for _, d := range infos {
+		byName[d.Name] = d
+	}
+	if !byName["TPUv2"].Deterministic || !byName["CPU"].Deterministic {
+		t.Error("systolic/serial parts must be deterministic")
+	}
+	if byName["V100"].Deterministic {
+		t.Error("V100 marked deterministic")
+	}
+	if !byName["RTX5000 TC"].TensorCores || byName["RTX5000 TC"].Alias != "rtx5000tc" {
+		t.Errorf("RTX5000 TC info = %+v", byName["RTX5000 TC"])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/grid"
 	"repro/internal/report"
 )
 
@@ -100,6 +101,9 @@ type tableRunner func(ctx context.Context, cfg Config) ([]*report.Table, error)
 type experiment struct {
 	meta Meta
 	run  tableRunner
+	// cells is the compiled grid size for spec-registered artifacts (the
+	// progress total one run reports); 0 for non-grid harnesses.
+	cells int
 }
 
 // registry maps experiment IDs (table2, fig5, ...) to harnesses.
@@ -107,6 +111,38 @@ var registry = map[string]experiment{}
 
 // register wires an experiment's metadata and harness at init time.
 func register(meta Meta, run tableRunner) {
+	registerCells(meta, run, 0)
+}
+
+// gridRender renders a grid artifact's tables from its cells and their
+// trained populations. Paper artifacts keep bespoke renderers (the
+// printed layouts are idiosyncratic); the training fan-out itself lives
+// in the engine.
+type gridRender func(cells []gridCell, pops []cellPop) ([]*report.Table, error)
+
+// registerGrid wires a declarative grid artifact: the specs compile once
+// at init (a name that stops resolving fails startup, not a user's run),
+// their cells concatenate in spec order, and the registered harness is
+// engine execution plus the artifact's renderer.
+func registerGrid(meta Meta, specs []grid.Spec, render gridRender) {
+	var cells []gridCell
+	for _, s := range specs {
+		plan, err := CompileSpec(s)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: invalid grid spec: %v", meta.ID, err))
+		}
+		cells = append(cells, plan.cells...)
+	}
+	registerCells(meta, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
+		pops, err := defaultPops.runCells(ctx, cfg, cells)
+		if err != nil {
+			return nil, err
+		}
+		return render(cells, pops)
+	}, len(cells))
+}
+
+func registerCells(meta Meta, run tableRunner, cells int) {
 	if meta.ID == "" || meta.Title == "" {
 		panic(fmt.Sprintf("experiments: %q registered without complete metadata", meta.ID))
 	}
@@ -116,7 +152,18 @@ func register(meta Meta, run tableRunner) {
 	if _, dup := registry[meta.ID]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %q", meta.ID))
 	}
-	registry[meta.ID] = experiment{meta: meta, run: run}
+	registry[meta.ID] = experiment{meta: meta, run: run, cells: cells}
+}
+
+// GridCells reports the compiled grid size of a spec-registered artifact
+// (the progress total one run announces); ok is false for experiments
+// that are not declarative grids.
+func GridCells(id string) (cells int, ok bool) {
+	e, found := registry[id]
+	if !found || e.cells == 0 {
+		return 0, false
+	}
+	return e.cells, true
 }
 
 // wrap turns an internal harness into the public Runner: it times the run

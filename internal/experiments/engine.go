@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/grid"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+// This file is the grid engine: the one executor every experiment — paper
+// artifact or user-composed spec — runs through. A grid.Spec compiles into
+// a Plan (axis names resolved against the task/device/variant catalogs,
+// cells enumerated device→task→variant→recipe); the executor fans the
+// cells out on the sched pool, ticks the context's progress observer once
+// per completed cell, honors cancellation at batch boundaries, and reuses
+// populations through a Populations cache. Registered artifacts declare
+// their grids as specs plus a bespoke renderer (the paper's table layouts
+// are idiosyncratic); custom grids render through the generic metric
+// columns.
+
+// gridCell is one (recipe, device, variant) cell of an experiment grid.
+type gridCell struct {
+	task   taskSpec
+	dev    device.Config
+	v      core.Variant
+	recipe grid.Recipe // zero for paper cells; labels sweep rows
+}
+
+// cellPop is the trained population behind one grid cell.
+type cellPop struct {
+	results []*core.RunResult
+	ds      *data.Dataset
+}
+
+// stability summarizes the cell's population against its own dataset.
+func (c cellPop) stability() core.Stability {
+	return core.Summarize(c.results, c.ds.Test.Y, c.ds.Classes)
+}
+
+// fanout runs n grid cells concurrently on the sched pool, announcing the
+// grid size to the context's progress observer (see WithProgress) and
+// ticking it once per completed cell. It is the one fan-out loop in the
+// package: every experiment, training or profiling, runs its cells
+// through here.
+func fanout[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	tr := newTracker(ctx, n)
+	return sched.Map(ctx, n, func(i int) (T, error) {
+		v, err := fn(i)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		tr.tick()
+		return v, nil
+	})
+}
+
+// runCells trains every cell's population concurrently, deduping shared
+// work through the cache; cancelling ctx aborts in-flight training at the
+// next batch boundary. The returned slice pins every population at once,
+// so this path is reserved for the registered paper artifacts (bounded,
+// ≤30-cell grids) whose renderers need the raw populations; arbitrary
+// user grids go through stabilityCells, which releases each population as
+// its cell completes so a MaxCells-sized grid cannot pin thousands of
+// model populations beyond the cache bound.
+func (p *Populations) runCells(ctx context.Context, cfg Config, cells []gridCell) ([]cellPop, error) {
+	return fanout(ctx, len(cells), func(i int) (cellPop, error) {
+		results, ds, err := p.population(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
+		if err != nil {
+			return cellPop{}, err
+		}
+		return cellPop{results: results, ds: ds}, nil
+	})
+}
+
+// stabilityCells trains every cell and summarizes it in place, retaining
+// only the per-cell Stability (populations stay in the LRU-bounded cache,
+// not in the result).
+func (p *Populations) stabilityCells(ctx context.Context, cfg Config, cells []gridCell) ([]core.Stability, error) {
+	return fanout(ctx, len(cells), func(i int) (core.Stability, error) {
+		results, ds, err := p.population(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
+		if err != nil {
+			return core.Stability{}, err
+		}
+		return core.Summarize(results, ds.Test.Y, ds.Classes), nil
+	})
+}
+
+// stabilityGrid trains every cell and returns per-cell stability summaries
+// in cell order — the shape most paper renderers consume.
+func stabilityGrid(ctx context.Context, cfg Config, cells []gridCell) ([]core.Stability, error) {
+	return defaultPops.stabilityCells(ctx, cfg, cells)
+}
+
+// metric is one selectable stability column of the generic grid renderer.
+type metric struct {
+	header string
+	cell   func(core.Stability) report.Cell
+}
+
+// metricCatalog maps spec metric names onto their column definitions.
+var metricCatalog = map[string]metric{
+	"acc": {"acc(%)", func(st core.Stability) report.Cell {
+		return report.Float(st.AccMean, 2).WithUnit("%")
+	}},
+	"stddev_acc": {"stddev(acc)", func(st core.Stability) report.Cell {
+		return report.Float(st.AccStd, 3)
+	}},
+	"churn": {"churn(%)", func(st core.Stability) report.Cell {
+		return report.Float(st.Churn, 2).WithUnit("%")
+	}},
+	"l2": {"l2", func(st core.Stability) report.Cell {
+		return report.Float(st.L2, 3)
+	}},
+	"max_class_std": {"max per-class stddev", func(st core.Stability) report.Cell {
+		return report.Float(st.MaxPerClassStd, 3)
+	}},
+}
+
+// MetricNames lists the metric columns a grid spec may select.
+func MetricNames() []string {
+	out := make([]string, 0, len(metricCatalog))
+	for name := range metricCatalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Plan is a compiled grid spec: every axis name resolved against its
+// catalog, cells enumerated in rendering order. Compilation is pure — no
+// datasets are generated and nothing trains until Run.
+type Plan struct {
+	// Spec is the canonical form: task, device, variant and metric names
+	// replaced by their catalog spellings. Its Hash keys the plan's
+	// results.
+	Spec    grid.Spec
+	cells   []gridCell
+	metrics []metric
+}
+
+// CompileSpec validates a spec and resolves it into an executable Plan.
+func CompileSpec(spec grid.Spec) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.Normalized()
+	// Each axis resolves to its canonical catalog spelling and then dedups:
+	// "v100" and "V100" in one spec are one device, not two cells — and the
+	// deduped canonical axis is what Hash digests, so every spelling of one
+	// grid lands on one result key.
+	var tasks []taskSpec
+	seenTask := map[string]bool{}
+	for _, name := range s.Tasks {
+		t, err := taskByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if !seenTask[t.name] {
+			seenTask[t.name] = true
+			tasks = append(tasks, t)
+		}
+	}
+	s.Tasks = names(tasks...)
+	var devs []device.Config
+	seenDev := map[string]bool{}
+	for _, name := range s.Devices {
+		d, err := device.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if !seenDev[d.Name] {
+			seenDev[d.Name] = true
+			devs = append(devs, d)
+		}
+	}
+	s.Devices = s.Devices[:0]
+	for _, d := range devs {
+		s.Devices = append(s.Devices, d.Name)
+	}
+	var variants []core.Variant
+	seenVar := map[core.Variant]bool{}
+	for _, name := range s.Variants {
+		v, err := core.ParseVariant(name)
+		if err != nil {
+			return nil, err
+		}
+		if !seenVar[v] {
+			seenVar[v] = true
+			variants = append(variants, v)
+		}
+	}
+	s.Variants = s.Variants[:0]
+	for _, v := range variants {
+		s.Variants = append(s.Variants, v.String())
+	}
+	var metrics []metric
+	seenMetric := map[string]bool{}
+	canonMetrics := make([]string, 0, len(s.Metrics))
+	for _, name := range s.Metrics {
+		name = strings.ToLower(strings.TrimSpace(name))
+		m, ok := metricCatalog[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown metric %q (known: %s)",
+				name, strings.Join(MetricNames(), ", "))
+		}
+		if !seenMetric[name] {
+			seenMetric[name] = true
+			metrics = append(metrics, m)
+			canonMetrics = append(canonMetrics, name)
+		}
+	}
+	s.Metrics = canonMetrics
+	// The recipe sweep dedups like the name axes, by override content
+	// (labels are display-only and excluded from the spec hash, so two
+	// same-content recipes are one cell; the first label wins).
+	var recipes []grid.Recipe
+	seenRecipe := map[grid.Recipe]bool{}
+	for _, r := range s.Recipes {
+		content := r
+		content.Label = ""
+		if !seenRecipe[content] {
+			seenRecipe[content] = true
+			recipes = append(recipes, r)
+		}
+	}
+	if len(recipes) == 1 && recipes[0] == (grid.Recipe{Label: recipes[0].Label}) {
+		// An explicit single zero-content sweep — [{}] or a label-only
+		// [{"label":...}] — is the no-sweep grid: collapse it so every
+		// spelling shares one identity (and one rendered layout), matching
+		// the hash contract that labels never re-key results.
+		recipes = nil
+	}
+	s.Recipes = recipes
+	if len(recipes) == 0 {
+		recipes = []grid.Recipe{{}}
+	}
+	// Cell order: device → task → variant → recipe. Devices vary slowest so
+	// multi-device tables group into per-hardware blocks, the layout every
+	// paper table uses.
+	cells := make([]gridCell, 0, len(devs)*len(tasks)*len(variants)*len(recipes))
+	for _, d := range devs {
+		for _, t := range tasks {
+			for _, v := range variants {
+				for _, r := range recipes {
+					cells = append(cells, gridCell{task: t.withRecipe(r), dev: d, v: v, recipe: r})
+				}
+			}
+		}
+	}
+	return &Plan{Spec: s, cells: cells, metrics: metrics}, nil
+}
+
+// ID is the plan's registry-style identifier ("grid-<hash>"), derived
+// from the canonical spec so equivalent spellings of one grid collide.
+func (p *Plan) ID() string { return p.Spec.ID() }
+
+// Cells is the number of grid cells one run executes (and the progress
+// total it reports).
+func (p *Plan) Cells() int { return len(p.cells) }
+
+// Config resolves the run configuration against the spec: a spec-level
+// replica count overrides the configuration's.
+func (p *Plan) Config(cfg Config) Config {
+	if p.Spec.Replicas > 0 {
+		cfg.Replicas = p.Spec.Replicas
+	}
+	return cfg
+}
+
+// Estimate is the declared cost of running a plan, surfaced by the grid
+// API before any training starts so callers know what a submission pays.
+type Estimate struct {
+	// Cells is the number of grid cells (populations to train or reuse).
+	Cells int `json:"cells"`
+	// ReplicasPerCell is the resolved population size.
+	ReplicasPerCell int `json:"replicas_per_cell"`
+	// TrainingRuns is Cells x ReplicasPerCell: the model trainings a cold
+	// cache would execute.
+	TrainingRuns int `json:"training_runs"`
+	// TotalEpochs sums each training run's epoch schedule at the requested
+	// scale — the closest scale-free proxy for wall time.
+	TotalEpochs int `json:"total_epochs"`
+}
+
+// Estimate prices the plan under a run configuration.
+func (p *Plan) Estimate(cfg Config) Estimate {
+	cfg = p.Config(cfg)
+	reps := cfg.EffectiveReplicas()
+	est := Estimate{Cells: len(p.cells), ReplicasPerCell: reps, TrainingRuns: len(p.cells) * reps}
+	for _, c := range p.cells {
+		est.TotalEpochs += c.task.epochs[cfg.Scale] * reps
+	}
+	return est
+}
+
+// title is the rendered table headline.
+func (p *Plan) title() string {
+	if p.Spec.Title != "" {
+		return p.Spec.Title
+	}
+	name := p.Spec.Name
+	if name == "" {
+		name = p.ID()
+	}
+	return fmt.Sprintf("Custom grid %s: {%s} x {%s} x {%s}", name,
+		strings.Join(p.Spec.Tasks, ", "),
+		strings.Join(p.Spec.Devices, ", "),
+		strings.Join(p.Spec.Variants, ", "))
+}
+
+// render produces the generic grid table: one row per cell with the
+// task/device/variant labels (plus the recipe label when the spec sweeps
+// overrides) followed by the selected metric columns.
+func (p *Plan) render(stats []core.Stability) []*report.Table {
+	sweep := len(p.Spec.Recipes) > 0
+	headers := []string{"task", "device", "variant"}
+	if sweep {
+		headers = append(headers, "recipe")
+	}
+	for _, m := range p.metrics {
+		headers = append(headers, m.header)
+	}
+	tb := report.New(p.title(), headers...)
+	for i, c := range p.cells {
+		row := []report.Cell{report.Str(c.task.name), report.Str(c.dev.Name), report.Str(c.v.String())}
+		if sweep {
+			row = append(row, report.Str(c.recipe.String()))
+		}
+		for _, m := range p.metrics {
+			row = append(row, m.cell(stats[i]))
+		}
+		tb.AddCells(row...)
+	}
+	return []*report.Table{tb}
+}
+
+// RunSpec compiles and executes a user-composed grid on the default
+// engine cache (sharing populations with the registered paper artifacts)
+// and renders the generic metric table.
+func RunSpec(ctx context.Context, spec grid.Spec, cfg Config) (*report.Result, error) {
+	return defaultPops.RunSpec(ctx, spec, cfg)
+}
+
+// RunSpec executes a grid spec on this cache. The result's Experiment ID
+// is the plan's canonical "grid-<hash>" identity, so result stores key it
+// exactly like a registered artifact.
+func (p *Populations) RunSpec(ctx context.Context, spec grid.Spec, cfg Config) (*report.Result, error) {
+	plan, err := CompileSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunPlan(ctx, plan, cfg)
+}
+
+// RunPlan executes an already compiled plan (the server compiles once to
+// validate and estimate, then runs the same plan).
+func (p *Populations) RunPlan(ctx context.Context, plan *Plan, cfg Config) (*report.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = plan.Config(cfg)
+	start := time.Now()
+	stats, err := p.stabilityCells(ctx, cfg, plan.cells)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", plan.ID(), err)
+	}
+	return &report.Result{
+		Experiment:      plan.ID(),
+		Title:           plan.title(),
+		Kind:            report.KindTable,
+		Config:          cfg.Echo(),
+		WallTimeSeconds: time.Since(start).Seconds(),
+		Tables:          plan.render(stats),
+	}, nil
+}

@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"context"
-
-	"repro/internal/core"
-	"repro/internal/device"
+	"repro/internal/grid"
 	"repro/internal/report"
 )
 
@@ -17,59 +14,46 @@ const (
 )
 
 func init() {
-	register(Meta{
+	registerGrid(Meta{
 		ID:        "fig1",
 		Title:     fig1Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(fig1Tasks...),
 		Cost:      CostHeavy,
-	}, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
-		return noiseComparison(ctx, cfg, fig1Title, device.V100, fig1Tasks)
-	})
-	register(Meta{
+	}, []grid.Spec{{Tasks: names(fig1Tasks...), Devices: []string{"V100"}}},
+		noiseComparison(fig1Title))
+	registerGrid(Meta{
 		ID:        "fig9",
 		Title:     fig9Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(fig1Tasks[:3]...),
 		Cost:      CostHeavy,
-	}, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
-		return noiseComparison(ctx, cfg, fig9Title, device.P100, fig1Tasks[:3])
-	})
-	register(Meta{
+	}, []grid.Spec{{Tasks: names(fig1Tasks[:3]...), Devices: []string{"P100"}}},
+		noiseComparison(fig9Title))
+	registerGrid(Meta{
 		ID:        "fig10",
 		Title:     fig10Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(fig1Tasks[:3]...),
 		Cost:      CostHeavy,
-	}, func(ctx context.Context, cfg Config) ([]*report.Table, error) {
-		return noiseComparison(ctx, cfg, fig10Title, device.RTX5000, fig1Tasks[:3])
-	})
+	}, []grid.Spec{{Tasks: names(fig1Tasks[:3]...), Devices: []string{"RTX5000"}}},
+		noiseComparison(fig10Title))
 }
 
-// noiseComparison renders the stddev/churn/L2 panels of Figures 1, 9 and 10:
-// each task × variant cell of the grid summarizes an independently trained
-// replica population. Cells train concurrently on the sched pool; rows are
-// emitted in grid order regardless of completion order.
-func noiseComparison(ctx context.Context, cfg Config, title string, dev device.Config, tasks []taskSpec) ([]*report.Table, error) {
-	tb := report.New(title,
-		"task", "variant", "acc(%)", "stddev(acc)", "churn(%)", "l2")
-	var cells []gridCell
-	for _, task := range tasks {
-		for _, v := range core.StandardVariants {
-			cells = append(cells, gridCell{task, dev, v})
+// noiseComparison renders the stddev/churn/L2 panels of Figures 1, 9 and
+// 10: one row per task × variant cell of the compiled grid, in grid order.
+func noiseComparison(title string) gridRender {
+	return func(cells []gridCell, pops []cellPop) ([]*report.Table, error) {
+		tb := report.New(title,
+			"task", "variant", "acc(%)", "stddev(acc)", "churn(%)", "l2")
+		for i, c := range cells {
+			st := pops[i].stability()
+			tb.AddCells(report.Str(c.task.name), report.Str(c.v.String()),
+				report.Float(st.AccMean, 2).WithUnit("%"),
+				report.Float(st.AccStd, 3),
+				report.Float(st.Churn, 2).WithUnit("%"),
+				report.Float(st.L2, 3))
 		}
+		return []*report.Table{tb}, nil
 	}
-	stats, err := stabilityGrid(ctx, cfg, cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		st := stats[i]
-		tb.AddCells(report.Str(c.task.name), report.Str(c.v.String()),
-			report.Float(st.AccMean, 2).WithUnit("%"),
-			report.Float(st.AccStd, 3),
-			report.Float(st.Churn, 2).WithUnit("%"),
-			report.Float(st.L2, 3))
-	}
-	return []*report.Table{tb}, nil
 }

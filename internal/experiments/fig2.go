@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"context"
-
-	"repro/internal/core"
-	"repro/internal/device"
+	"repro/internal/grid"
 	"repro/internal/report"
 )
 
@@ -16,46 +13,37 @@ const (
 )
 
 func init() {
-	register(Meta{
+	registerGrid(Meta{
 		ID:        "fig2",
 		Title:     fig2Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(taskSmallCNNC10, taskSmallCNNC10BN),
 		Cost:      CostMedium,
-	}, runFig2)
-	register(Meta{
+	}, []grid.Spec{{Tasks: names(taskSmallCNNC10, taskSmallCNNC10BN), Devices: []string{"V100"}}},
+		renderFig2)
+	registerGrid(Meta{
 		ID:        "fig4",
 		Title:     fig4Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(taskResNet18C10, taskResNet18C100),
 		Cost:      CostHeavy,
-	}, runFig4)
+	}, []grid.Spec{{Tasks: names(taskResNet18C10, taskResNet18C100), Devices: []string{"V100"}}},
+		renderFig4)
 }
 
-// runFig2 reproduces Figure 2: batch normalization curbs the impact of
-// every noise source on the small CNN.
-func runFig2(ctx context.Context, cfg Config) ([]*report.Table, error) {
+// renderFig2 reproduces Figure 2: batch normalization curbs the impact of
+// every noise source on the small CNN. Rows are labeled with/without by
+// which task variant the cell trained.
+func renderFig2(cells []gridCell, pops []cellPop) ([]*report.Table, error) {
 	tb := report.New(fig2Title,
 		"batchnorm", "variant", "stddev(acc)", "churn(%)", "l2")
-	var cells []gridCell
-	var labels []string
-	for _, task := range []taskSpec{taskSmallCNNC10, taskSmallCNNC10BN} {
+	for i, c := range cells {
 		label := "without"
-		if task.name == taskSmallCNNC10BN.name {
+		if c.task.name == taskSmallCNNC10BN.name {
 			label = "with"
 		}
-		for _, v := range core.StandardVariants {
-			cells = append(cells, gridCell{task, device.V100, v})
-			labels = append(labels, label)
-		}
-	}
-	stats, err := stabilityGrid(ctx, cfg, cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		st := stats[i]
-		tb.AddCells(report.Str(labels[i]), report.Str(c.v.String()),
+		st := pops[i].stability()
+		tb.AddCells(report.Str(label), report.Str(c.v.String()),
 			report.Float(st.AccStd, 3),
 			report.Float(st.Churn, 2).WithUnit("%"),
 			report.Float(st.L2, 3))
@@ -63,23 +51,13 @@ func runFig2(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	return []*report.Table{tb}, nil
 }
 
-// runFig4 reproduces Figure 4: per-class accuracy variance versus overall
-// accuracy variance for ResNet-18 on the CIFAR-like datasets.
-func runFig4(ctx context.Context, cfg Config) ([]*report.Table, error) {
+// renderFig4 reproduces Figure 4: per-class accuracy variance versus
+// overall accuracy variance for ResNet-18 on the CIFAR-like datasets.
+func renderFig4(cells []gridCell, pops []cellPop) ([]*report.Table, error) {
 	tb := report.New(fig4Title,
 		"dataset", "variant", "stddev(acc)", "max per-class stddev", "ratio")
-	var cells []gridCell
-	for _, task := range []taskSpec{taskResNet18C10, taskResNet18C100} {
-		for _, v := range core.StandardVariants {
-			cells = append(cells, gridCell{task, device.V100, v})
-		}
-	}
-	stats, err := stabilityGrid(ctx, cfg, cells)
-	if err != nil {
-		return nil, err
-	}
 	for i, c := range cells {
-		st := stats[i]
+		st := pops[i].stability()
 		ratio := 0.0
 		if st.AccStd > 0 {
 			ratio = st.MaxPerClassStd / st.AccStd

@@ -2,13 +2,12 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/device"
+	"repro/internal/grid"
 	"repro/internal/report"
-	"repro/internal/sched"
 )
 
 // Artifact titles, declared once so the registry metadata and the
@@ -19,13 +18,16 @@ const (
 )
 
 func init() {
-	register(Meta{
+	registerGrid(Meta{
 		ID:        "fig5",
 		Title:     fig5Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(taskResNet18C100),
 		Cost:      CostHeavy,
-	}, runFig5)
+	}, []grid.Spec{{
+		Tasks:   names(taskResNet18C100),
+		Devices: []string{"P100", "V100", "RTX5000", "RTX5000 TC", "TPUv2"},
+	}}, renderFig5)
 	register(Meta{
 		ID:        "fig6",
 		Title:     fig6Title,
@@ -35,25 +37,14 @@ func init() {
 	}, runFig6)
 }
 
-// runFig5 reproduces Figure 5: ResNet-18 / CIFAR-100-like across the
+// renderFig5 reproduces Figure 5: ResNet-18 / CIFAR-100-like across the
 // accelerator catalog — CUDA-core GPUs with different core counts, Tensor
 // Cores, and the systolic TPU.
-func runFig5(ctx context.Context, cfg Config) ([]*report.Table, error) {
+func renderFig5(cells []gridCell, pops []cellPop) ([]*report.Table, error) {
 	tb := report.New(fig5Title,
 		"accelerator", "variant", "stddev(acc)", "churn(%)", "l2")
-	devices := []device.Config{device.P100, device.V100, device.RTX5000, device.RTX5000TC, device.TPUv2}
-	var cells []gridCell
-	for _, dev := range devices {
-		for _, v := range core.StandardVariants {
-			cells = append(cells, gridCell{taskResNet18C100, dev, v})
-		}
-	}
-	stats, err := stabilityGrid(ctx, cfg, cells)
-	if err != nil {
-		return nil, err
-	}
 	for i, c := range cells {
-		st := stats[i]
+		st := pops[i].stability()
 		tb.AddCells(report.Str(c.dev.Name), report.Str(c.v.String()),
 			report.Float(st.AccStd, 3),
 			report.Float(st.Churn, 2).WithUnit("%"),
@@ -65,35 +56,33 @@ func runFig5(ctx context.Context, cfg Config) ([]*report.Table, error) {
 // runFig6 reproduces Figure 6: on the deterministic TPU, varying only the
 // data order still produces predictive divergence at every batch size —
 // including full batch, where all models "should" mathematically agree.
+// The batch-size axis depends on the generated dataset's size, so the
+// cells are built at run time (with recipe overrides on the catalog task)
+// rather than declared statically; they still execute on the engine.
 func runFig6(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	ds := datasetCached(taskSmallCNNC10.name, cfg.Scale, taskSmallCNNC10.dataset)
 	n := ds.Train.N()
 	batches := []int{n / 15, n / 4, n} // small, medium, full batch
-	tb := report.New(fig6Title,
-		"batch size", "churn(%)", "stddev(acc)")
-	tr := newTracker(ctx, len(batches))
-	stats, err := sched.Map(ctx, len(batches), func(i int) (core.Stability, error) {
-		b := batches[i]
-		task := taskSmallCNNC10
-		task.name = fmt.Sprintf("%s/batch%d", task.name, b)
-		task.batch = b
-		task.augment = data.Augment{} // no augmentation: isolate pure ordering
+	cells := make([]gridCell, len(batches))
+	for i, b := range batches {
 		// Large batches are trained with the same LR, so cool it slightly to
 		// keep every batch size in the stable regime; fixed-epoch budget
 		// across batch sizes (full batch takes one step per epoch, so the
-		// budget is generous for noise to amplify).
+		// budget is generous for noise to amplify). No augmentation: isolate
+		// pure ordering.
+		task := taskSmallCNNC10
+		task.batch = b
+		task.augment = data.Augment{}
 		task.lr = 0.06
 		task.epochs = [3]int{100, 140, 200}
-		results, dsUsed, err := population(ctx, cfg, task, device.TPUv2, core.DataOrderOnly)
-		if err != nil {
-			return core.Stability{}, err
-		}
-		tr.tick()
-		return core.Summarize(results, dsUsed.Test.Y, dsUsed.Classes), nil
-	})
+		cells[i] = gridCell{task: task, dev: device.TPUv2, v: core.DataOrderOnly}
+	}
+	stats, err := stabilityGrid(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
+	tb := report.New(fig6Title,
+		"batch size", "churn(%)", "stddev(acc)")
 	for i, b := range batches {
 		tb.AddCells(report.Int(b),
 			report.Float(stats[i].Churn, 2).WithUnit("%"),

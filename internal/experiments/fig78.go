@@ -8,7 +8,6 @@ import (
 	"repro/internal/models"
 	"repro/internal/profile"
 	"repro/internal/report"
-	"repro/internal/sched"
 )
 
 // Artifact titles, declared once so the registry metadata and the
@@ -56,14 +55,12 @@ func runFig7(ctx context.Context, cfg Config) ([]*report.Table, error) {
 			cells = append(cells, cell{g, mode})
 		}
 	}
-	tr := newTracker(ctx, len(cells))
-	return sched.Map(ctx, len(cells), func(i int) (*report.Table, error) {
+	return fanout(ctx, len(cells), func(i int) (*report.Table, error) {
 		g, mode := cells[i].g, cells[i].mode
 		p, err := profile.Graph(g, device.ArchVolta, mode, profile.Options{})
 		if err != nil {
 			return nil, err
 		}
-		defer tr.tick()
 		tb := report.New(
 			fmt.Sprintf("Figure 7: top-20 kernels, %s, TF %s mode (V100, batch %d, %d steps)",
 				g.Name, mode, p.Batch, p.Steps),
@@ -83,8 +80,7 @@ func runFig8a(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	tb := report.New(fig8aTitle,
 		"network", "P100", "V100", "T4")
 	zoo := models.Zoo()
-	tr := newTracker(ctx, len(zoo))
-	rows, err := sched.Map(ctx, len(zoo), func(i int) ([]report.Cell, error) {
+	rows, err := fanout(ctx, len(zoo), func(i int) ([]report.Cell, error) {
 		g := zoo[i]
 		row := []report.Cell{report.Str(g.Name)}
 		for _, arch := range []device.Arch{device.ArchPascal, device.ArchVolta, device.ArchTuring} {
@@ -94,7 +90,6 @@ func runFig8a(ctx context.Context, cfg Config) ([]*report.Table, error) {
 			}
 			row = append(row, report.Float(100*ov, 0).WithUnit("%"))
 		}
-		tr.tick()
 		return row, nil
 	})
 	if err != nil {
@@ -112,8 +107,7 @@ func runFig8b(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	tb := report.New(fig8bTitle,
 		"kernel", "P100", "V100", "T4")
 	kernels := []int{1, 3, 5, 7}
-	tr := newTracker(ctx, len(kernels))
-	rows, err := sched.Map(ctx, len(kernels), func(i int) ([]report.Cell, error) {
+	rows, err := fanout(ctx, len(kernels), func(i int) ([]report.Cell, error) {
 		k := kernels[i]
 		g := models.MediumCNNGraph(k)
 		row := []report.Cell{report.Str(fmt.Sprintf("%d*%d", k, k))}
@@ -124,7 +118,6 @@ func runFig8b(ctx context.Context, cfg Config) ([]*report.Table, error) {
 			}
 			row = append(row, report.Float(100*ov, 0).WithUnit("%"))
 		}
-		tr.tick()
 		return row, nil
 	})
 	if err != nil {

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// goldenConfig is the fixed configuration every golden artifact is rendered
+// under: the smallest scale, two replicas, the paper seed.
+func goldenConfig() Config {
+	return Config{Scale: data.ScaleTest, Replicas: 2, Seed: 20220622}
+}
+
+// goldenCheap marks the artifacts with no training behind them; their
+// goldens are compared on every test run. The training-backed artifacts
+// (everything else) train ~50 populations even at test scale, so they are
+// compared only when NNRAND_GOLDEN_ALL is set.
+var goldenCheap = map[string]bool{
+	"table3": true, "table4": true, "fig7": true, "fig8a": true, "fig8b": true,
+}
+
+// TestGoldenArtifacts pins the rendered JSON of every registered paper
+// artifact byte-for-byte (wall time zeroed): any refactor of the experiment
+// layer must be rendering-identical. Regenerate with
+//
+//	NNRAND_GOLDEN_UPDATE=1 [NNRAND_GOLDEN_ALL=1] go test -run TestGoldenArtifacts ./internal/experiments/
+func TestGoldenArtifacts(t *testing.T) {
+	update := os.Getenv("NNRAND_GOLDEN_UPDATE") != ""
+	all := os.Getenv("NNRAND_GOLDEN_ALL") != ""
+	for _, id := range IDs() {
+		if !goldenCheap[id] && (!all || testing.Short()) {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(context.Background(), id, goldenConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.WallTimeSeconds = 0 // the only field that varies run to run
+			var buf bytes.Buffer
+			if err := res.RenderJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", id+".json")
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with NNRAND_GOLDEN_UPDATE=1): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s: rendered JSON differs from golden %s\n--- golden ---\n%s\n--- got ---\n%s",
+					id, path, want, buf.Bytes())
+			}
+		})
+	}
+}

@@ -24,7 +24,7 @@ func TestPopulationSingleflight(t *testing.T) {
 	const callers = 8
 	results := make([][]*core.RunResult, callers)
 	errs := make([]error, callers)
-	before := popTrains.Load()
+	before := PopulationTrains()
 
 	var start, done sync.WaitGroup
 	start.Add(1)
@@ -40,7 +40,7 @@ func TestPopulationSingleflight(t *testing.T) {
 	start.Done()
 	done.Wait()
 
-	trained := popTrains.Load() - before
+	trained := PopulationTrains() - before
 	if trained != 1 {
 		t.Fatalf("%d concurrent callers trained the population %d times, want exactly 1", callers, trained)
 	}
@@ -62,7 +62,7 @@ func TestPopulationSingleflight(t *testing.T) {
 	if _, _, err := population(context.Background(), cfg, taskSmallCNNC10, device.V100, core.Control); err != nil {
 		t.Fatal(err)
 	}
-	if got := popTrains.Load() - before; got != 1 {
+	if got := PopulationTrains() - before; got != 1 {
 		t.Fatalf("cache hit retrained: %d trainings", got)
 	}
 }

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+)
+
+// DefaultPopulationCapacity bounds how many completed replica populations
+// a Populations cache retains before evicting least-recently-used entries.
+// Populations hold full model weights, so the bound is what keeps a
+// long-lived server's memory flat under arbitrary custom grids.
+const DefaultPopulationCapacity = 64
+
+// Populations is the engine-owned cache of trained replica populations
+// and generated datasets. It replaces the old package-global singleflight
+// maps: construct one with NewPopulations to isolate an engine (tests,
+// embedded services), or use the package-level helpers that delegate to
+// the shared default instance — registered paper artifacts and custom
+// grids run on the same default cache, which is how a custom cell whose
+// resolved recipe matches a paper cell reuses its population.
+//
+// Entries are keyed by the full resolved recipe fingerprint (every
+// hyperparameter, the device, variant, replica count, scale and seed —
+// see taskSpec.fingerprint), not the task name, so recipe overrides can
+// never collide with paper populations. Lookups are singleflight: the
+// first caller of a key trains while concurrent callers block on the
+// entry's done channel; waiters select on their own context, and a
+// cancelled flight owner never poisons the key for live waiters. Completed
+// entries are LRU-evicted beyond the capacity; in-flight entries are never
+// evicted.
+type Populations struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*popEntry
+	// lru holds completed keys, least recently used first.
+	lru []string
+
+	dsMu sync.Mutex
+	ds   map[string]*dsEntry
+
+	// trains counts populations actually trained (not served from cache);
+	// tests use deltas to prove singleflight dedup and key separation.
+	trains atomic.Int64
+}
+
+// NewPopulations returns an empty cache retaining at most capacity
+// completed populations (<= 0 picks DefaultPopulationCapacity).
+func NewPopulations(capacity int) *Populations {
+	if capacity <= 0 {
+		capacity = DefaultPopulationCapacity
+	}
+	return &Populations{
+		cap:     capacity,
+		entries: map[string]*popEntry{},
+		ds:      map[string]*dsEntry{},
+	}
+}
+
+// defaultPops is the shared engine cache behind the package-level API.
+var defaultPops = NewPopulations(DefaultPopulationCapacity)
+
+// DefaultPopulations returns the shared cache used by registered paper
+// artifacts and RunSpec, so embedders can run custom grids on an engine
+// that shares populations with the registry.
+func DefaultPopulations() *Populations { return defaultPops }
+
+// ResetCache clears the default population cache (tests use this to force
+// retrains).
+func ResetCache() { defaultPops.Reset() }
+
+// PopulationTrains reports how many populations the default cache has
+// actually trained (cache hits excluded) since process start. The server
+// tests use deltas of this counter to prove that concurrent identical
+// requests train each population exactly once.
+func PopulationTrains() int64 { return defaultPops.Trains() }
+
+// Reset drops every cached population and dataset.
+func (p *Populations) Reset() {
+	p.mu.Lock()
+	p.entries = map[string]*popEntry{}
+	p.lru = nil
+	p.mu.Unlock()
+	p.dsMu.Lock()
+	p.ds = map[string]*dsEntry{}
+	p.dsMu.Unlock()
+}
+
+// Trains reports how many populations this cache has actually trained.
+func (p *Populations) Trains() int64 { return p.trains.Load() }
+
+// Len reports how many completed populations are currently cached.
+func (p *Populations) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.lru)
+}
+
+type popEntry struct {
+	done    chan struct{}
+	results []*core.RunResult
+	err     error
+}
+
+type dsEntry struct {
+	once sync.Once
+	ds   *data.Dataset
+	err  error // set when gen panicked; waiters re-panic with this context
+}
+
+// datasetCached delegates to the default cache (taskSpec.trainConfig and
+// the dataset-only artifacts run there).
+func datasetCached(task string, s data.Scale, gen func(data.Scale) *data.Dataset) *data.Dataset {
+	return defaultPops.dataset(task, s, gen)
+}
+
+// dataset builds (or fetches) the dataset for one task at one scale.
+// Concurrent callers build it exactly once and share the instance.
+func (p *Populations) dataset(task string, s data.Scale, gen func(data.Scale) *data.Dataset) *data.Dataset {
+	key := fmt.Sprintf("%s@%s", task, s)
+	p.dsMu.Lock()
+	e, ok := p.ds[key]
+	if !ok {
+		e = &dsEntry{}
+		p.ds[key] = e
+	}
+	p.dsMu.Unlock()
+	e.once.Do(func() {
+		// A panic in gen would otherwise poison the entry forever (sync.Once
+		// marks done even on panic): record the cause for concurrent waiters,
+		// drop the entry so a retry can rebuild, and keep crash semantics.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("experiments: dataset %s: panic during generation: %v", key, r)
+				p.dsMu.Lock()
+				if p.ds[key] == e {
+					delete(p.ds, key)
+				}
+				p.dsMu.Unlock()
+				panic(r)
+			}
+		}()
+		e.ds = gen(s)
+	})
+	if e.err != nil {
+		// A waiter whose flight owner panicked: surface the original cause
+		// instead of handing out a nil dataset that crashes far away.
+		panic(e.err)
+	}
+	return e.ds
+}
+
+// population delegates to the default cache.
+func population(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+	return defaultPops.population(ctx, cfg, t, dev, v)
+}
+
+// population trains (or fetches from cache) the replica population for one
+// (recipe, device, variant) cell of an experiment grid. Concurrent calls
+// with the same fingerprint train the population exactly once. If the
+// flight owner is cancelled, callers whose own context is still live
+// transparently retry with a fresh flight, so one aborted request never
+// poisons the result for everyone queued behind it.
+func (p *Populations) population(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+	for {
+		results, ds, err := p.flight(ctx, cfg, t, dev, v)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The owner of the flight we waited on was cancelled; our
+			// context is live, so run (or join) a fresh flight.
+			continue
+		}
+		return results, ds, err
+	}
+}
+
+func (p *Populations) flight(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+	tc, ds := t.trainConfig(p, cfg, dev)
+	key := t.fingerprint(cfg, dev, v)
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &popEntry{done: make(chan struct{})}
+		p.entries[key] = e
+	}
+	p.mu.Unlock()
+
+	if ok {
+		// Someone else owns the flight (or it is already complete): wait for
+		// it or for our own cancellation, whichever comes first.
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	} else {
+		// We own the flight. If training panics, record the cause for the
+		// waiters, drop the entry so a retry can rebuild, and keep crash
+		// semantics on this goroutine.
+		func() {
+			defer close(e.done)
+			defer func() {
+				if r := recover(); r != nil {
+					e.err = fmt.Errorf("experiments: %s on %s under %s: panic during training: %v", t.name, dev.Name, v, r)
+					panic(r)
+				}
+			}()
+			p.trains.Add(1)
+			results, err := core.RunVariant(ctx, tc, v, cfg.replicas())
+			if err != nil {
+				e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
+				return
+			}
+			e.results = results
+		}()
+	}
+	if e.err != nil {
+		// Drop the failed entry so a later call can retry (the error is
+		// still returned to everyone who waited on this flight).
+		p.mu.Lock()
+		if p.entries[key] == e {
+			delete(p.entries, key)
+		}
+		p.mu.Unlock()
+		return nil, nil, e.err
+	}
+	p.touch(key, e)
+	return e.results, ds, nil
+}
+
+// touch records a completed entry as most recently used and evicts the
+// least recently used completed entries beyond capacity. In-flight entries
+// (not yet in lru) are never evicted, so a key being trained cannot be
+// dropped mid-flight by cache pressure.
+func (p *Populations) touch(key string, e *popEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.entries[key] != e {
+		return // raced with Reset or a failure-path delete
+	}
+	for i, k := range p.lru {
+		if k == key {
+			p.lru = append(append(p.lru[:i:i], p.lru[i+1:]...), key)
+			return
+		}
+	}
+	p.lru = append(p.lru, key)
+	for len(p.lru) > p.cap {
+		delete(p.entries, p.lru[0])
+		p.lru = p.lru[1:]
+	}
+}

@@ -1,19 +1,17 @@
 package experiments
 
 import (
-	"context"
-	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/device"
+	"repro/internal/grid"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/opt"
-	"repro/internal/sched"
 )
 
 // taskSpec is a dataset/model training recipe, the reproduction analogue of
@@ -33,8 +31,8 @@ type taskSpec struct {
 	augment     data.Augment
 }
 
-func (t taskSpec) trainConfig(cfg Config, dev device.Config) (core.TrainConfig, *data.Dataset) {
-	ds := datasetCached(t.name, cfg.Scale, t.dataset)
+func (t taskSpec) trainConfig(p *Populations, cfg Config, dev device.Config) (core.TrainConfig, *data.Dataset) {
+	ds := p.dataset(t.name, cfg.Scale, t.dataset)
 	epochs := t.epochs[cfg.Scale]
 	return core.TrainConfig{
 		Model:       func() *nn.Sequential { return t.model(ds.Classes) },
@@ -50,17 +48,138 @@ func (t taskSpec) trainConfig(cfg Config, dev device.Config) (core.TrainConfig, 
 	}, ds
 }
 
+// fingerprint is the population-cache identity of one grid cell: the full
+// resolved training recipe (not just the task name), the device, the noise
+// variant, and the run configuration. Keying on every hyperparameter is
+// what lets custom grids with recipe overrides coexist with the paper
+// populations in one cache without collisions — and conversely lets a
+// custom cell whose recipe matches a paper artifact's reuse its population
+// verbatim.
+func (t taskSpec) fingerprint(cfg Config, dev device.Config, v core.Variant) string {
+	return fmt.Sprintf("%s|lr%g|b%d|e%d|d%g|wd%g|aug%d:%t|%s|%s|r%d|%s|s%d",
+		t.name, t.lr, t.batch, t.epochs[cfg.Scale], t.decayAt, t.weightDecay,
+		t.augment.Shift, t.augment.Flip,
+		dev.Name, v, cfg.replicas(), cfg.Scale, cfg.Seed)
+}
+
+// withRecipe returns a copy of the task with the override's non-zero
+// fields applied. An Epochs override flattens the scale schedule (the
+// user asked for exactly that many epochs at any scale).
+func (t taskSpec) withRecipe(r grid.Recipe) taskSpec {
+	if r.LR > 0 {
+		t.lr = r.LR
+	}
+	if r.Batch > 0 {
+		t.batch = r.Batch
+	}
+	if r.Epochs > 0 {
+		t.epochs = [3]int{r.Epochs, r.Epochs, r.Epochs}
+	}
+	if r.DecayAt > 0 {
+		t.decayAt = r.DecayAt
+	}
+	if r.WeightDecay > 0 {
+		t.weightDecay = r.WeightDecay
+	}
+	if r.NoAugment {
+		t.augment = data.Augment{}
+	}
+	return t
+}
+
+// taskRegistry maps canonical workload names (taskKey form) to recipes.
+// Registration happens in the var block below, so by init time every grid
+// spec can resolve its task names.
+var taskRegistry = map[string]taskSpec{}
+
+// registerTask records a recipe under its canonical name and returns it,
+// letting the task table below both declare and register in one step.
+func registerTask(t taskSpec) taskSpec {
+	key := taskKey(t.name)
+	if _, dup := taskRegistry[key]; dup {
+		panic(fmt.Sprintf("experiments: duplicate task %q", t.name))
+	}
+	taskRegistry[key] = t
+	return t
+}
+
+// taskKey canonicalizes a workload name for lookup, with the same rule as
+// device aliases (lowercase, punctuation and spacing dropped) so
+// "ResNet18 CIFAR-10" and "resnet18-cifar10" address the same recipe and
+// both catalogs match names identically.
+func taskKey(name string) string { return device.Alias(name) }
+
+// taskByName resolves a workload name from a grid spec onto its recipe.
+func taskByName(name string) (taskSpec, error) {
+	if t, ok := taskRegistry[taskKey(name)]; ok {
+		return t, nil
+	}
+	known := make([]string, 0, len(taskRegistry))
+	for _, t := range taskRegistry {
+		known = append(known, t.name)
+	}
+	sort.Strings(known)
+	return taskSpec{}, fmt.Errorf("experiments: unknown task %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// Workload is the JSON-ready description of one registered training
+// recipe, served by `nnrand workloads` and GET /v1/workloads so users can
+// compose grid specs against the real catalog.
+type Workload struct {
+	Name string `json:"name"`
+	// Alias is the canonical punctuation-free lookup key.
+	Alias string `json:"alias"`
+	// Epochs is the schedule at [test, quick, full] scale.
+	Epochs      [3]int  `json:"epochs"`
+	Batch       int     `json:"batch"`
+	LR          float64 `json:"lr"`
+	DecayAt     float64 `json:"decay_at"`
+	WeightDecay float64 `json:"weight_decay,omitempty"`
+	// Augment summarizes data augmentation ("shift=1,flip" or "none").
+	Augment string `json:"augment"`
+}
+
+// Workloads lists every registered training recipe, sorted by name.
+func Workloads() []Workload {
+	out := make([]Workload, 0, len(taskRegistry))
+	for _, t := range taskRegistry {
+		aug := "none"
+		if t.augment.Enabled() {
+			parts := []string{}
+			if t.augment.Shift > 0 {
+				parts = append(parts, fmt.Sprintf("shift=%d", t.augment.Shift))
+			}
+			if t.augment.Flip {
+				parts = append(parts, "flip")
+			}
+			aug = strings.Join(parts, ",")
+		}
+		out = append(out, Workload{
+			Name:        t.name,
+			Alias:       taskKey(t.name),
+			Epochs:      t.epochs,
+			Batch:       t.batch,
+			LR:          t.lr,
+			DecayAt:     t.decayAt,
+			WeightDecay: t.weightDecay,
+			Augment:     aug,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // The task table. Names follow the paper's workload labels.
 var (
-	taskSmallCNNC10 = taskSpec{
+	taskSmallCNNC10 = registerTask(taskSpec{
 		name:    "SmallCNN CIFAR-10",
 		dataset: data.CIFAR10Like,
 		model:   func(k int) *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(k)) },
 		epochs:  [3]int{40, 48, 64},
 		batch:   32, lr: 0.07, decayAt: 0.75,
 		augment: data.Augment{Shift: 1, Flip: true},
-	}
-	taskSmallCNNC10BN = taskSpec{
+	})
+	taskSmallCNNC10BN = registerTask(taskSpec{
 		name:    "SmallCNN+BN CIFAR-10",
 		dataset: data.CIFAR10Like,
 		model: func(k int) *nn.Sequential {
@@ -71,231 +190,43 @@ var (
 		epochs: [3]int{40, 48, 64},
 		batch:  32, lr: 0.07, decayAt: 0.75,
 		augment: data.Augment{Shift: 1, Flip: true},
-	}
-	taskResNet18C10 = taskSpec{
+	})
+	taskResNet18C10 = registerTask(taskSpec{
 		name:    "ResNet18 CIFAR-10",
 		dataset: data.CIFAR10Like,
 		model:   models.ResNet18,
 		epochs:  [3]int{24, 36, 50},
 		batch:   32, lr: 0.05, decayAt: 0.75,
 		augment: data.Augment{Shift: 1, Flip: true},
-	}
-	taskResNet18C100 = taskSpec{
+	})
+	taskResNet18C100 = registerTask(taskSpec{
 		name:    "ResNet18 CIFAR-100",
 		dataset: data.CIFAR100Like,
 		model:   models.ResNet18,
 		epochs:  [3]int{24, 36, 50},
 		batch:   32, lr: 0.05, decayAt: 0.75,
 		augment: data.Augment{Shift: 1, Flip: true},
-	}
-	taskResNet50ImageNet = taskSpec{
+	})
+	taskResNet50ImageNet = registerTask(taskSpec{
 		name:    "ResNet50 ImageNet",
 		dataset: data.ImageNetLike,
 		model:   models.ResNet50,
 		epochs:  [3]int{24, 30, 45},
 		batch:   32, lr: 0.05, decayAt: 0.75,
 		augment: data.Augment{Shift: 1, Flip: true},
-	}
+	})
 	// CelebA: no augmentation, shorter schedule (paper Appendix B).
-	taskCelebA = taskSpec{
+	taskCelebA = registerTask(taskSpec{
 		name:    "ResNet18 CelebA",
 		dataset: data.CelebALike,
 		model:   func(int) *nn.Sequential { return models.CelebAResNet18() },
 		epochs:  [3]int{16, 20, 28},
 		batch:   32, lr: 0.05, decayAt: 0.75,
-	}
+	})
 )
 
 // fig1Tasks are the four panels of Figure 1 (and Table 2's V100 block).
 var fig1Tasks = []taskSpec{taskSmallCNNC10, taskResNet18C10, taskResNet18C100, taskResNet50ImageNet}
-
-// population caching ---------------------------------------------------------
-//
-// Grid runners execute their cells concurrently, and several artifacts
-// share populations (Figure 1, Figure 4 and Table 2 all train ResNet-18 on
-// V100), so the cache is singleflight-style: the first caller of a key
-// trains the population while every concurrent caller of the same key
-// blocks on the entry's done channel and then reads the shared result —
-// shared work trains exactly once no matter how many cells race for it.
-// Waiters select on their own context, so a cancelled request stops
-// waiting immediately without disturbing the flight.
-
-type popEntry struct {
-	done    chan struct{}
-	results []*core.RunResult
-	err     error
-}
-
-type dsEntry struct {
-	once sync.Once
-	ds   *data.Dataset
-	err  error // set when gen panicked; waiters re-panic with this context
-}
-
-var (
-	popMu    sync.Mutex
-	popCache = map[string]*popEntry{}
-
-	dsMu    sync.Mutex
-	dsCache = map[string]*dsEntry{}
-
-	// popTrains counts populations actually trained (not served from
-	// cache); tests use it to prove singleflight dedup.
-	popTrains atomic.Int64
-)
-
-func datasetCached(task string, s data.Scale, gen func(data.Scale) *data.Dataset) *data.Dataset {
-	key := fmt.Sprintf("%s@%s", task, s)
-	dsMu.Lock()
-	e, ok := dsCache[key]
-	if !ok {
-		e = &dsEntry{}
-		dsCache[key] = e
-	}
-	dsMu.Unlock()
-	e.once.Do(func() {
-		// A panic in gen would otherwise poison the entry forever (sync.Once
-		// marks done even on panic): record the cause for concurrent waiters,
-		// drop the entry so a retry can rebuild, and keep crash semantics.
-		defer func() {
-			if r := recover(); r != nil {
-				e.err = fmt.Errorf("experiments: dataset %s: panic during generation: %v", key, r)
-				dsMu.Lock()
-				if dsCache[key] == e {
-					delete(dsCache, key)
-				}
-				dsMu.Unlock()
-				panic(r)
-			}
-		}()
-		e.ds = gen(s)
-	})
-	if e.err != nil {
-		// A waiter whose flight owner panicked: surface the original cause
-		// instead of handing out a nil dataset that crashes far away.
-		panic(e.err)
-	}
-	return e.ds
-}
-
-// population trains (or fetches from cache) the replica population for one
-// (task, device, variant) cell of an experiment grid. Concurrent calls
-// with the same key train the population exactly once. If the flight owner
-// is cancelled, callers whose own context is still live transparently
-// retry with a fresh flight, so one aborted request never poisons the
-// result for everyone queued behind it.
-func population(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
-	for {
-		results, ds, err := populationFlight(ctx, cfg, t, dev, v)
-		if err != nil && ctx.Err() == nil &&
-			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			// The owner of the flight we waited on was cancelled; our
-			// context is live, so run (or join) a fresh flight.
-			continue
-		}
-		return results, ds, err
-	}
-}
-
-func populationFlight(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
-	tc, ds := t.trainConfig(cfg, dev)
-	key := fmt.Sprintf("%s|%s|%s|%d|%s|%d", t.name, dev.Name, v, cfg.replicas(), cfg.Scale, cfg.Seed)
-	popMu.Lock()
-	e, ok := popCache[key]
-	if !ok {
-		e = &popEntry{done: make(chan struct{})}
-		popCache[key] = e
-	}
-	popMu.Unlock()
-
-	if ok {
-		// Someone else owns the flight: wait for it or for our own
-		// cancellation, whichever comes first.
-		select {
-		case <-e.done:
-		case <-ctx.Done():
-			return nil, nil, ctx.Err()
-		}
-	} else {
-		// We own the flight. If training panics, record the cause for the
-		// waiters, drop the entry so a retry can rebuild, and keep crash
-		// semantics on this goroutine.
-		func() {
-			defer close(e.done)
-			defer func() {
-				if r := recover(); r != nil {
-					e.err = fmt.Errorf("experiments: %s on %s under %s: panic during training: %v", t.name, dev.Name, v, r)
-					panic(r)
-				}
-			}()
-			popTrains.Add(1)
-			results, err := core.RunVariant(ctx, tc, v, cfg.replicas())
-			if err != nil {
-				e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
-				return
-			}
-			e.results = results
-		}()
-	}
-	if e.err != nil {
-		// Drop the failed entry so a later call can retry (the error is
-		// still returned to everyone who waited on this flight).
-		popMu.Lock()
-		if popCache[key] == e {
-			delete(popCache, key)
-		}
-		popMu.Unlock()
-		return nil, nil, e.err
-	}
-	return e.results, ds, nil
-}
-
-// stability trains a population and summarizes it in one call.
-func stability(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) (core.Stability, error) {
-	results, ds, err := population(ctx, cfg, t, dev, v)
-	if err != nil {
-		return core.Stability{}, err
-	}
-	return core.Summarize(results, ds.Test.Y, ds.Classes), nil
-}
-
-// gridCell is one (task, device, variant) cell of an experiment grid.
-type gridCell struct {
-	task taskSpec
-	dev  device.Config
-	v    core.Variant
-}
-
-// stabilityGrid trains every cell's population concurrently on the sched
-// pool and returns per-cell stability summaries in cell order. Shared
-// populations dedup through the singleflight cache; cancelling ctx aborts
-// in-flight training at the next batch boundary. Each completed cell ticks
-// the context's progress observer (see WithProgress), which is how grid
-// runners feed the job engine's done/total fraction.
-func stabilityGrid(ctx context.Context, cfg Config, cells []gridCell) ([]core.Stability, error) {
-	tr := newTracker(ctx, len(cells))
-	return sched.Map(ctx, len(cells), func(i int) (core.Stability, error) {
-		st, err := stability(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
-		if err != nil {
-			return core.Stability{}, err
-		}
-		tr.tick()
-		return st, nil
-	})
-}
-
-// ResetCache clears the population cache (tests use this to force retrains).
-func ResetCache() {
-	popMu.Lock()
-	popCache = map[string]*popEntry{}
-	popMu.Unlock()
-}
-
-// PopulationTrains reports how many populations have actually been trained
-// (cache hits excluded) since process start. The server tests use deltas of
-// this counter to prove that concurrent identical requests train each
-// population exactly once.
-func PopulationTrains() int64 { return popTrains.Load() }
 
 // names collects the workload labels of a task list for registry metadata.
 func names(tasks ...taskSpec) []string {

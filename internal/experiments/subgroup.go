@@ -6,9 +6,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/device"
+	"repro/internal/grid"
 	"repro/internal/report"
-	"repro/internal/sched"
 )
 
 // Artifact titles, declared once so the registry metadata and the
@@ -18,6 +17,13 @@ const (
 	fig3Title   = "Figure 3: normalized sub-group stddev, ALGO+IMPL (ResNet18, CelebA-like, V100)"
 )
 
+// subgroupSpec is the CelebA grid Table 5 and Figure 3 share: one task,
+// one device, the three standard variants. Registering it twice costs
+// nothing — the populations dedup through the engine cache.
+func subgroupSpec() []grid.Spec {
+	return []grid.Spec{{Tasks: names(taskCelebA), Devices: []string{"V100"}}}
+}
+
 func init() {
 	register(Meta{
 		ID:        "table3",
@@ -26,20 +32,20 @@ func init() {
 		Workloads: names(taskCelebA),
 		Cost:      CostNone,
 	}, runTable3)
-	register(Meta{
+	registerGrid(Meta{
 		ID:        "table5",
 		Title:     "Table 5: STDDEV of sub-group accuracy/FPR/FNR (ResNet18, CelebA-like, V100)",
 		Artifact:  report.KindTable,
 		Workloads: names(taskCelebA),
 		Cost:      CostMedium,
-	}, runTable5)
-	register(Meta{
+	}, subgroupSpec(), renderTable5)
+	registerGrid(Meta{
 		ID:        "fig3",
 		Title:     fig3Title,
 		Artifact:  report.KindFigure,
 		Workloads: names(taskCelebA),
 		Cost:      CostMedium,
-	}, runFig3)
+	}, subgroupSpec(), renderFig3)
 }
 
 // runTable3 reproduces Table 3: the CelebA-like attribute imbalance. No
@@ -58,40 +64,20 @@ func runTable3(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	return []*report.Table{tb}, nil
 }
 
-// subgroupRows trains the CelebA populations (one per variant,
-// concurrently) and returns the per-variant sub-group stability rows shared
-// by Table 5 and Figure 3.
-func subgroupRows(ctx context.Context, cfg Config) (map[core.Variant][]core.SubgroupStability, *data.Dataset, error) {
-	type variantRows struct {
-		rows []core.SubgroupStability
-		ds   *data.Dataset
-	}
-	tr := newTracker(ctx, len(core.StandardVariants))
-	per, err := sched.Map(ctx, len(core.StandardVariants), func(i int) (variantRows, error) {
-		results, d, err := population(ctx, cfg, taskCelebA, device.V100, core.StandardVariants[i])
-		if err != nil {
-			return variantRows{}, err
-		}
-		tr.tick()
-		return variantRows{core.SummarizeSubgroups(results, d.Test), d}, nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
+// subgroupRows summarizes each cell's population into per-variant
+// sub-group stability rows — the shape Table 5 and Figure 3 render from.
+func subgroupRows(cells []gridCell, pops []cellPop) map[core.Variant][]core.SubgroupStability {
 	out := map[core.Variant][]core.SubgroupStability{}
-	for i, v := range core.StandardVariants {
-		out[v] = per[i].rows
+	for i, c := range cells {
+		out[c.v] = core.SummarizeSubgroups(pops[i].results, pops[i].ds.Test)
 	}
-	return out, per[len(per)-1].ds, nil
+	return out
 }
 
-// runTable5 reproduces Table 5: stddev of sub-group accuracy, FPR and FNR
-// across replicas, with relative scale against the overall dataset.
-func runTable5(ctx context.Context, cfg Config) ([]*report.Table, error) {
-	rows, _, err := subgroupRows(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
+// renderTable5 reproduces Table 5: stddev of sub-group accuracy, FPR and
+// FNR across replicas, with relative scale against the overall dataset.
+func renderTable5(cells []gridCell, pops []cellPop) ([]*report.Table, error) {
+	rows := subgroupRows(cells, pops)
 	var tables []*report.Table
 	for _, metric := range []string{"Accuracy", "FPR", "FNR"} {
 		tb := report.New(fmt.Sprintf("Table 5: STDDEV(%s) by sub-group (ResNet18, CelebA-like, V100)", metric),
@@ -119,13 +105,10 @@ func runTable5(ctx context.Context, cfg Config) ([]*report.Table, error) {
 	return tables, nil
 }
 
-// runFig3 reproduces Figure 3: sub-group stddev normalized against the
+// renderFig3 reproduces Figure 3: sub-group stddev normalized against the
 // overall dataset for the default (ALGO+IMPL) setting.
-func runFig3(ctx context.Context, cfg Config) ([]*report.Table, error) {
-	rows, _, err := subgroupRows(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
+func renderFig3(cells []gridCell, pops []cellPop) ([]*report.Table, error) {
+	rows := subgroupRows(cells, pops)
 	tb := report.New(fig3Title,
 		"subgroup", "norm stddev(acc)", "norm stddev(FPR)", "norm stddev(FNR)")
 	for _, s := range rows[core.AlgoImpl] {

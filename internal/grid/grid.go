@@ -1,0 +1,270 @@
+// Package grid defines the declarative experiment-grid model. A Spec is a
+// plain value — JSON-(de)serializable, hashable, comparable — describing a
+// population-training grid: which workload recipes to train, on which
+// simulated accelerators, under which noise variants, optionally sweeping
+// recipe overrides, and which stability metrics to report. Specs carry no
+// behavior beyond structural validation and canonical hashing; resolving
+// names against the workload/device/variant catalogs and executing the
+// grid is the experiment engine's job (internal/experiments), which keeps
+// this package dependency-free and lets every layer — CLI flags, HTTP
+// bodies, registered paper artifacts — speak the same value.
+//
+// Hashing contract: Hash (and ID) digest the canonical JSON encoding of
+// the normalized spec. Two specs with the same axes in the same order hash
+// identically, which is what keys results in the persistent store; callers
+// that accept loose user input should canonicalize names (via the engine)
+// before hashing so spelling variants of the same grid collide.
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// MaxCells bounds how many cells one spec may expand to; Validate rejects
+// anything larger so a typo'd axis cannot submit months of training.
+const MaxCells = 4096
+
+// Per-cell override bounds, closing the same gap as MaxCells from the
+// other side: one cell must not be able to request effectively unbounded
+// work through a huge epoch budget or batch size.
+const (
+	// MaxEpochs bounds a Recipe's epoch override (the largest shipped
+	// schedule is 200 epochs; 10000 leaves two orders of headroom).
+	MaxEpochs = 10000
+	// MaxBatch bounds a Recipe's batch override (full-batch on the largest
+	// shipped dataset is ~100k examples).
+	MaxBatch = 1 << 20
+	// MaxReplicas bounds the population size per cell (the paper uses 10;
+	// TrainingRuns = cells × replicas, so this closes the last unbounded
+	// factor of a submission's cost).
+	MaxReplicas = 1000
+)
+
+// DefaultVariants are the three arms every paper comparison reports,
+// applied when a spec lists none.
+var DefaultVariants = []string{"ALGO+IMPL", "ALGO", "IMPL"}
+
+// DefaultMetrics are the stability columns reported when a spec lists
+// none: mean accuracy, its spread, predictive churn and weight distance.
+var DefaultMetrics = []string{"acc", "stddev_acc", "churn", "l2"}
+
+// Recipe overrides parts of a workload's training recipe for every cell it
+// is applied to. Zero fields keep the recipe's published value; listing
+// several Recipes in a Spec adds a sweep axis (one cell per recipe).
+type Recipe struct {
+	// Label names the override in rendered tables; empty derives one from
+	// the overridden fields.
+	Label string `json:"label,omitempty"`
+	// LR overrides the base learning rate (0 keeps the recipe's).
+	LR float64 `json:"lr,omitempty"`
+	// Batch overrides the minibatch size (0 keeps the recipe's).
+	Batch int `json:"batch,omitempty"`
+	// Epochs overrides the epoch budget at every scale (0 keeps the
+	// recipe's scale-dependent schedule).
+	Epochs int `json:"epochs,omitempty"`
+	// DecayAt overrides the fraction of epochs after which the LR divides
+	// by 10 (0 keeps the recipe's).
+	DecayAt float64 `json:"decay_at,omitempty"`
+	// WeightDecay overrides L2 regularization (0 keeps the recipe's).
+	WeightDecay float64 `json:"weight_decay,omitempty"`
+	// NoAugment disables data augmentation.
+	NoAugment bool `json:"no_augment,omitempty"`
+}
+
+// IsZero reports whether the recipe overrides nothing.
+func (r Recipe) IsZero() bool { return r == Recipe{} }
+
+// String returns the recipe's rendering label: Label if set, otherwise a
+// compact "lr=0.1,batch=64" form, or "paper" for a zero override.
+func (r Recipe) String() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	var parts []string
+	if r.LR > 0 {
+		parts = append(parts, fmt.Sprintf("lr=%g", r.LR))
+	}
+	if r.Batch > 0 {
+		parts = append(parts, fmt.Sprintf("batch=%d", r.Batch))
+	}
+	if r.Epochs > 0 {
+		parts = append(parts, fmt.Sprintf("epochs=%d", r.Epochs))
+	}
+	if r.DecayAt > 0 {
+		parts = append(parts, fmt.Sprintf("decay_at=%g", r.DecayAt))
+	}
+	if r.WeightDecay > 0 {
+		parts = append(parts, fmt.Sprintf("weight_decay=%g", r.WeightDecay))
+	}
+	if r.NoAugment {
+		parts = append(parts, "no_augment")
+	}
+	if len(parts) == 0 {
+		return "paper"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Spec declares one experiment grid: the cross product of Tasks × Devices
+// × Variants × Recipes (Recipes defaulting to a single zero override),
+// trained with Replicas models per cell and summarized into the Metrics
+// columns. The zero value is invalid; a usable spec names at least one
+// task and one device.
+type Spec struct {
+	// Name optionally labels the grid for humans (it does not enter Hash's
+	// identity — two differently named specs over the same axes collide,
+	// which is what result dedup wants). See Normalized.
+	Name string `json:"name,omitempty"`
+	// Title overrides the rendered table title.
+	Title string `json:"title,omitempty"`
+	// Tasks lists workload recipe names (see the experiments catalog;
+	// matching is case- and punctuation-insensitive, e.g.
+	// "resnet18-cifar10").
+	Tasks []string `json:"tasks"`
+	// Devices lists simulated accelerator names or aliases ("V100",
+	// "rtx5000tc", ...).
+	Devices []string `json:"devices"`
+	// Variants lists noise arms ("ALGO+IMPL", "ALGO", "IMPL", "CONTROL",
+	// "DATA-ORDER"); empty means DefaultVariants.
+	Variants []string `json:"variants,omitempty"`
+	// Recipes optionally sweeps recipe overrides as a fourth axis.
+	Recipes []Recipe `json:"recipes,omitempty"`
+	// Metrics selects the reported stability columns; empty means
+	// DefaultMetrics.
+	Metrics []string `json:"metrics,omitempty"`
+	// Replicas overrides the run configuration's replica count when > 0.
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// Normalized returns a copy with whitespace-trimmed axis entries, empty
+// entries dropped, defaults applied, and the display-only Name/Title
+// cleared of surrounding space. It is the form Hash digests.
+func (s Spec) Normalized() Spec {
+	out := s
+	out.Name = strings.TrimSpace(s.Name)
+	out.Title = strings.TrimSpace(s.Title)
+	out.Tasks = trimAll(s.Tasks)
+	out.Devices = trimAll(s.Devices)
+	out.Variants = trimAll(s.Variants)
+	if len(out.Variants) == 0 {
+		out.Variants = append([]string(nil), DefaultVariants...)
+	}
+	out.Metrics = trimAll(s.Metrics)
+	if len(out.Metrics) == 0 {
+		out.Metrics = append([]string(nil), DefaultMetrics...)
+	}
+	if len(out.Recipes) > 0 {
+		out.Recipes = append([]Recipe(nil), s.Recipes...)
+	}
+	return out
+}
+
+func trimAll(in []string) []string {
+	out := make([]string, 0, len(in))
+	for _, v := range in {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks the spec's structure: at least one task and device, no
+// negative replica count, and a cell count within MaxCells. Whether the
+// names resolve against the catalogs is checked by the engine's compiler.
+func (s Spec) Validate() error {
+	n := s.Normalized()
+	if len(n.Tasks) == 0 {
+		return fmt.Errorf("grid: spec lists no tasks")
+	}
+	if len(n.Devices) == 0 {
+		return fmt.Errorf("grid: spec lists no devices")
+	}
+	if n.Replicas < 0 {
+		return fmt.Errorf("grid: replicas must be >= 0, got %d", n.Replicas)
+	}
+	if n.Replicas > MaxReplicas {
+		return fmt.Errorf("grid: replicas = %d, max %d", n.Replicas, MaxReplicas)
+	}
+	for i, r := range n.Recipes {
+		// Zero means "keep the recipe's value"; negative overrides would
+		// otherwise be silently ignored and the cell mislabeled as a sweep.
+		if r.LR < 0 || r.Batch < 0 || r.Epochs < 0 || r.DecayAt < 0 || r.WeightDecay < 0 {
+			return fmt.Errorf("grid: recipe %d has a negative override (zero means keep the recipe's value)", i)
+		}
+		if r.DecayAt > 1 {
+			return fmt.Errorf("grid: recipe %d overrides decay_at to %g; it is a fraction of training (0, 1]", i, r.DecayAt)
+		}
+		if r.Epochs > MaxEpochs {
+			return fmt.Errorf("grid: recipe %d overrides epochs to %d, max %d", i, r.Epochs, MaxEpochs)
+		}
+		if r.Batch > MaxBatch {
+			return fmt.Errorf("grid: recipe %d overrides batch to %d, max %d", i, r.Batch, MaxBatch)
+		}
+	}
+	if cells := n.CellCount(); cells > MaxCells {
+		return fmt.Errorf("grid: spec expands to %d cells, max %d", cells, MaxCells)
+	}
+	return nil
+}
+
+// CellCount is the number of grid cells the spec expands to:
+// tasks × devices × variants × max(1, recipes).
+func (s Spec) CellCount() int {
+	n := s.Normalized()
+	sweep := len(n.Recipes)
+	if sweep == 0 {
+		sweep = 1
+	}
+	return len(n.Tasks) * len(n.Devices) * len(n.Variants) * sweep
+}
+
+// Hash returns the canonical content hash of the spec: the first 12 hex
+// characters of the SHA-256 of its normalized JSON encoding, with every
+// display-only field excluded — the spec's Name and Title and each
+// recipe's Label — so relabeling a grid or its sweep rows does not re-key
+// its results.
+func (s Spec) Hash() string {
+	n := s.Normalized()
+	n.Name, n.Title = "", ""
+	for i := range n.Recipes {
+		n.Recipes[i].Label = "" // Normalized copied the slice
+	}
+	// The resolved replica count is already part of every result key
+	// (grid-<hash>-<scale>-rN-sM), so a spec-level replica override must
+	// not also enter the hash: "replicas in the spec" and "replicas in
+	// the run request" are the same work and must share one identity.
+	n.Replicas = 0
+	b, err := json.Marshal(n)
+	if err != nil {
+		// Spec contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("grid: hashing spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// ID is the registry-style identifier of the grid: "grid-<hash>". It
+// prefixes result keys so custom grids share the persistent store's
+// key space with registered paper artifacts without colliding.
+func (s Spec) ID() string { return "grid-" + s.Hash() }
+
+// Parse decodes a JSON spec strictly (unknown fields and trailing content
+// are errors, catching typo'd or corrupted spec files before they
+// silently train the wrong grid).
+func Parse(b []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("grid: parsing spec: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("grid: parsing spec: trailing content after the spec object")
+	}
+	return s, nil
+}

@@ -1,0 +1,173 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizedAppliesDefaults(t *testing.T) {
+	s := Spec{Tasks: []string{" ResNet18 CIFAR-10 ", ""}, Devices: []string{"V100"}}
+	n := s.Normalized()
+	if len(n.Tasks) != 1 || n.Tasks[0] != "ResNet18 CIFAR-10" {
+		t.Fatalf("tasks not trimmed: %q", n.Tasks)
+	}
+	if len(n.Variants) != 3 || n.Variants[0] != "ALGO+IMPL" {
+		t.Fatalf("default variants not applied: %q", n.Variants)
+	}
+	if len(n.Metrics) != 4 {
+		t.Fatalf("default metrics not applied: %q", n.Metrics)
+	}
+	// Normalization must not mutate the receiver.
+	if s.Variants != nil {
+		t.Fatal("Normalized mutated its receiver")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Spec{Tasks: []string{"t"}, Devices: []string{"d"}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for _, bad := range []Spec{
+		{Devices: []string{"d"}},
+		{Tasks: []string{"t"}},
+		{Tasks: []string{"t"}, Devices: []string{"d"}, Replicas: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	huge := Spec{Tasks: make([]string, 100), Devices: make([]string, 100)}
+	for i := range huge.Tasks {
+		huge.Tasks[i] = "t"
+	}
+	for i := range huge.Devices {
+		huge.Devices[i] = "d"
+	}
+	if err := huge.Validate(); err == nil || !strings.Contains(err.Error(), "cells") {
+		t.Errorf("oversized spec accepted (err=%v)", err)
+	}
+}
+
+func TestCellCount(t *testing.T) {
+	s := Spec{Tasks: []string{"a", "b"}, Devices: []string{"d"}, Variants: []string{"IMPL"}}
+	if got := s.CellCount(); got != 2 {
+		t.Fatalf("CellCount = %d, want 2", got)
+	}
+	s.Recipes = []Recipe{{}, {LR: 0.1}, {Batch: 64}}
+	if got := s.CellCount(); got != 6 {
+		t.Fatalf("CellCount with sweep = %d, want 6", got)
+	}
+	// Default variants: 2 tasks x 1 device x 3 variants.
+	s = Spec{Tasks: []string{"a", "b"}, Devices: []string{"d"}}
+	if got := s.CellCount(); got != 6 {
+		t.Fatalf("CellCount with default variants = %d, want 6", got)
+	}
+}
+
+func TestHashStableAndLabelInsensitive(t *testing.T) {
+	a := Spec{Tasks: []string{"t"}, Devices: []string{"d"}}
+	b := Spec{Name: "my grid", Title: "My Grid", Tasks: []string{" t "}, Devices: []string{"d"}}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("labels/whitespace changed the hash: %s vs %s", a.Hash(), b.Hash())
+	}
+	if len(a.Hash()) != 12 {
+		t.Fatalf("hash length %d, want 12", len(a.Hash()))
+	}
+	c := Spec{Tasks: []string{"t"}, Devices: []string{"d"}, Variants: []string{"IMPL"}}
+	if a.Hash() == c.Hash() {
+		t.Fatal("different axes hash identically")
+	}
+	// Explicitly spelling the defaults is the same grid.
+	d := Spec{Tasks: []string{"t"}, Devices: []string{"d"},
+		Variants: []string{"ALGO+IMPL", "ALGO", "IMPL"},
+		Metrics:  []string{"acc", "stddev_acc", "churn", "l2"}}
+	if a.Hash() != d.Hash() {
+		t.Fatal("explicit defaults changed the hash")
+	}
+	if a.ID() != "grid-"+a.Hash() {
+		t.Fatalf("ID = %q", a.ID())
+	}
+}
+
+func TestParseStrict(t *testing.T) {
+	s, err := Parse([]byte(`{"tasks":["t"],"devices":["V100"],"recipes":[{"lr":0.1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Recipes) != 1 || s.Recipes[0].LR != 0.1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := Parse([]byte(`{"tasks":["t"],"devises":["V100"]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestRecipeString(t *testing.T) {
+	if got := (Recipe{}).String(); got != "paper" {
+		t.Fatalf("zero recipe label %q", got)
+	}
+	if got := (Recipe{LR: 0.1, Batch: 64, NoAugment: true}).String(); got != "lr=0.1,batch=64,no_augment" {
+		t.Fatalf("derived label %q", got)
+	}
+	if got := (Recipe{Label: "warm", LR: 0.1}).String(); got != "warm" {
+		t.Fatalf("explicit label %q", got)
+	}
+	if !(Recipe{}).IsZero() || (Recipe{Epochs: 3}).IsZero() {
+		t.Fatal("IsZero")
+	}
+}
+
+func TestValidateRejectsNegativeRecipeOverrides(t *testing.T) {
+	for _, r := range []Recipe{{LR: -1}, {Batch: -8}, {Epochs: -2}, {DecayAt: -0.5}, {WeightDecay: -0.1}} {
+		s := Spec{Tasks: []string{"t"}, Devices: []string{"d"}, Recipes: []Recipe{r}}
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+			t.Errorf("recipe %+v accepted (err=%v)", r, err)
+		}
+	}
+}
+
+func TestParseRejectsTrailingContent(t *testing.T) {
+	if _, err := Parse([]byte(`{"tasks":["t"],"devices":["d"]}{"oops":1}`)); err == nil {
+		t.Fatal("trailing JSON document accepted")
+	}
+}
+
+func TestHashIgnoresReplicas(t *testing.T) {
+	a := Spec{Tasks: []string{"t"}, Devices: []string{"d"}}
+	b := Spec{Tasks: []string{"t"}, Devices: []string{"d"}, Replicas: 2}
+	if a.Hash() != b.Hash() {
+		t.Fatal("spec-level replicas entered the hash; the resolved count already keys results")
+	}
+}
+
+func TestValidateBoundsOverrideMagnitudes(t *testing.T) {
+	base := Spec{Tasks: []string{"t"}, Devices: []string{"d"}}
+	base.Recipes = []Recipe{{Epochs: MaxEpochs + 1}}
+	if err := base.Validate(); err == nil {
+		t.Fatal("unbounded epochs accepted")
+	}
+	base.Recipes = []Recipe{{Batch: MaxBatch + 1}}
+	if err := base.Validate(); err == nil {
+		t.Fatal("unbounded batch accepted")
+	}
+	base.Recipes = []Recipe{{DecayAt: 75}}
+	if err := base.Validate(); err == nil {
+		t.Fatal("decay_at > 1 accepted (it is a fraction of training)")
+	}
+	base.Recipes = []Recipe{{Epochs: MaxEpochs, Batch: MaxBatch, DecayAt: 1}}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("at-bound overrides rejected: %v", err)
+	}
+}
+
+func TestValidateBoundsReplicas(t *testing.T) {
+	s := Spec{Tasks: []string{"t"}, Devices: []string{"d"}, Replicas: MaxReplicas + 1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("unbounded replicas accepted")
+	}
+	s.Replicas = MaxReplicas
+	if err := s.Validate(); err != nil {
+		t.Fatalf("at-bound replicas rejected: %v", err)
+	}
+}

@@ -184,7 +184,7 @@ func (e *Engine) Close() {
 // watching. A submission whose result is already stored completes
 // instantly as cached; one whose key matches a live job joins that job.
 func (e *Engine) Submit(experiment string, cfg experiments.Config) (*Job, error) {
-	return e.submit(experiment, cfg, true)
+	return e.submit(experiment, ResultKey(experiment, cfg), cfg, true, nil)
 }
 
 // SubmitAttached enqueues a run owned by its waiters: each call
@@ -193,11 +193,24 @@ func (e *Engine) Submit(experiment string, cfg experiments.Config) (*Job, error)
 // pool. If a detached submission later joins the same job it upgrades to
 // detached and survives its waiters.
 func (e *Engine) SubmitAttached(experiment string, cfg experiments.Config) (*Job, error) {
-	return e.submit(experiment, cfg, false)
+	return e.submit(experiment, ResultKey(experiment, cfg), cfg, false, nil)
 }
 
-func (e *Engine) submit(experiment string, cfg experiments.Config, detached bool) (*Job, error) {
-	key := ResultKey(experiment, cfg)
+// SubmitTask enqueues a detached run of an arbitrary task — the grid
+// endpoint's entry point. label identifies the task in snapshots (the
+// Experiment field); key is its canonical result key and must be
+// deterministic for the work run performs, because it addresses the
+// persistent store (a restarted engine serves a stored key without
+// re-running) and dedups identical live submissions. run receives a
+// context carrying the job's progress observer and its cancellation.
+func (e *Engine) SubmitTask(label, key string, cfg experiments.Config, run func(context.Context) (*report.Result, error)) (*Job, error) {
+	if run == nil {
+		return nil, fmt.Errorf("jobs: SubmitTask %q: nil run func", label)
+	}
+	return e.submit(label, key, cfg, true, run)
+}
+
+func (e *Engine) submit(experiment, key string, cfg experiments.Config, detached bool, run func(context.Context) (*report.Result, error)) (*Job, error) {
 	// Probe the store before taking the engine lock: a cold key may lazily
 	// load its file from disk, and that I/O must not stall every other
 	// engine operation. A result stored between this miss and execution is
@@ -233,6 +246,12 @@ func (e *Engine) submit(experiment string, cfg experiments.Config, detached bool
 		done:       make(chan struct{}),
 		state:      StateQueued,
 		detached:   detached,
+		runFn:      run,
+	}
+	if j.runFn == nil {
+		j.runFn = func(ctx context.Context) (*report.Result, error) {
+			return e.run(ctx, experiment, cfg)
+		}
 	}
 	if !detached {
 		j.waiters = 1
@@ -304,7 +323,7 @@ func (e *Engine) execute(j *Job) {
 				err = fmt.Errorf("runner panicked: %v", r)
 			}
 		}()
-		return e.run(experiments.WithProgress(ctx, j.setProgress), j.experiment, j.cfg)
+		return j.runFn(experiments.WithProgress(ctx, j.setProgress))
 	}()
 	e.finish(j, res, err, false)
 }
@@ -375,6 +394,10 @@ type Job struct {
 	ctx        context.Context
 	cancel     context.CancelFunc
 	done       chan struct{}
+	// runFn executes the job's work; for experiment submissions it closes
+	// over the engine's RunFunc, for task submissions (custom grids) it is
+	// caller-provided.
+	runFn func(context.Context) (*report.Result, error)
 
 	mu       sync.Mutex
 	state    State

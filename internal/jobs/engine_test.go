@@ -427,3 +427,60 @@ func TestJobRetention(t *testing.T) {
 		t.Fatal("newest job was forgotten")
 	}
 }
+
+// TestSubmitTask drives the arbitrary-task path the grid endpoint uses:
+// caller-provided run func, explicit key, snapshot label, store dedup.
+func TestSubmitTask(t *testing.T) {
+	var calls atomic.Int64
+	e := newTestEngine(t, Options{})
+	run := func(ctx context.Context) (*report.Result, error) {
+		calls.Add(1)
+		if progress := experiments.ProgressFrom(ctx); progress == nil {
+			t.Error("task run func context carries no progress observer")
+		}
+		return stubResult("grid-abc123"), nil
+	}
+
+	j, err := e.SubmitTask("grid-abc123", "grid-abc123-test-r1-s7", testConfig(), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, j)
+	if snap.State != StateDone || snap.Error != nil {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Experiment != "grid-abc123" || snap.Key != "grid-abc123-test-r1-s7" {
+		t.Fatalf("label/key = %q/%q", snap.Experiment, snap.Key)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("run func called %d times", calls.Load())
+	}
+
+	// The completed result is stored under the task key: resubmitting the
+	// same key is born done+cached with zero executions — the property that
+	// makes grid results survive restarts when the store is disk-backed.
+	j2, err := e.SubmitTask("grid-abc123", "grid-abc123-test-r1-s7", testConfig(), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 := j2.Snapshot(); s2.State != StateDone || !s2.Cached || s2.Result == nil {
+		t.Fatalf("resubmission snapshot = %+v", s2)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("resubmission re-ran the task: %d calls", calls.Load())
+	}
+
+	// A different key is different work.
+	j3, err := e.SubmitTask("grid-def456", "grid-def456-test-r1-s7", testConfig(), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j3)
+	if calls.Load() != 2 {
+		t.Fatalf("distinct key did not run: %d calls", calls.Load())
+	}
+
+	if _, err := e.SubmitTask("grid-x", "grid-x-test-r1-s7", testConfig(), nil); err == nil {
+		t.Fatal("nil run func accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -84,7 +85,18 @@ func (c Cell) MarshalJSON() ([]byte, error) {
 	switch c.Kind {
 	case CellFloat:
 		o.Type = "float"
-		o.Value = json.RawMessage(strconv.FormatFloat(c.Float, 'f', c.Prec, 64))
+		text := strconv.FormatFloat(c.Float, 'f', c.Prec, 64)
+		if math.IsInf(c.Float, 0) || math.IsNaN(c.Float) {
+			// JSON has no non-finite numbers; carry the text rendering
+			// ("+Inf", "NaN") as a string so the document stays valid.
+			v, err := json.Marshal(text)
+			if err != nil {
+				return nil, err
+			}
+			o.Value = v
+		} else {
+			o.Value = json.RawMessage(text)
+		}
 	case CellInt:
 		o.Type = "int"
 		o.Value = json.RawMessage(strconv.FormatInt(c.Int, 10))
@@ -113,6 +125,19 @@ func (c *Cell) UnmarshalJSON(b []byte) error {
 	switch o.Type {
 	case "float":
 		c.Kind = CellFloat
+		if len(o.Value) > 0 && o.Value[0] == '"' {
+			// Non-finite value carried as its text rendering.
+			var text string
+			if err := json.Unmarshal(o.Value, &text); err != nil {
+				return err
+			}
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return fmt.Errorf("report: non-numeric float cell %q", text)
+			}
+			c.Float = f
+			return nil
+		}
 		if err := json.Unmarshal(o.Value, &c.Float); err != nil {
 			return err
 		}

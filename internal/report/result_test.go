@@ -1,7 +1,9 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -167,5 +169,33 @@ func TestRenderJSONResultsIsArray(t *testing.T) {
 	}
 	if len(arr) != 2 || arr[0].Experiment != "a" || arr[1].Experiment != "b" {
 		t.Fatalf("array round trip: %+v", arr)
+	}
+}
+
+// TestNonFiniteFloatCellJSON pins the wire form of non-finite float cells:
+// JSON has no Inf/NaN literals, so they are carried as their text
+// rendering and still round-trip (Figure 3's normalized scales can be
+// +Inf at tiny replica counts when the overall stddev is zero).
+func TestNonFiniteFloatCellJSON(t *testing.T) {
+	tb := New("t", "v")
+	tb.AddCells(Float(math.Inf(1), 2).WithUnit("X"))
+	res := &Result{Experiment: "x", Title: "t", Kind: KindTable, Tables: []*Table{tb}}
+	var buf bytes.Buffer
+	if err := res.RenderJSON(&buf); err != nil {
+		t.Fatalf("non-finite cell does not marshal: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.Bytes())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"+Inf"`)) {
+		t.Fatalf("wire form does not carry the text rendering: %s", buf.Bytes())
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	cell := back.Tables[0].Rows[0][0]
+	if !math.IsInf(cell.Float, 1) || cell.Unit != "X" {
+		t.Fatalf("round-tripped cell = %+v", cell)
 	}
 }

@@ -6,11 +6,23 @@
 // Endpoints (full request/response examples in docs/api.md):
 //
 //	GET    /v1/experiments          registry metadata for every experiment
+//	GET    /v1/devices              the simulated accelerator catalog
+//	GET    /v1/workloads            the training-recipe catalog
 //	POST   /v1/experiments/{id}/run run one experiment synchronously
 //	GET    /v1/results/{key}        fetch a completed result from the store
 //	POST   /v1/jobs                 submit an asynchronous run; returns a job ID
+//	POST   /v1/grid                 validate, cost-estimate and submit a custom grid spec
 //	GET    /v1/jobs/{id}            job status, progress, and result when done
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
+//
+// /v1/grid is the composition endpoint: the JSON body declares a grid
+// (tasks × devices × variants, optional recipe overrides and metric
+// selection — see internal/grid); the server validates it against the
+// catalogs, prices it, and submits it through the job engine keyed by the
+// canonical spec hash, so identical grids dedup live, persist like any
+// paper artifact, and are served from the store across restarts. Custom
+// grids and registered artifacts share one population cache: a custom
+// cell whose resolved recipe matches a paper cell trains nothing new.
 //
 // Every run — synchronous or submitted — flows through the job engine
 // (internal/jobs): identical live requests collapse onto one job, the
@@ -31,6 +43,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,7 +51,9 @@ import (
 	"net/http"
 
 	"repro/internal/data"
+	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/report"
 )
@@ -66,12 +81,21 @@ type Options struct {
 	QueueDepth int
 	// Run overrides the experiment executor (nil = experiments.Run).
 	Run RunFunc
+	// RunGrid overrides the custom-grid executor (nil = the default
+	// population cache's RunPlan, which shares populations with the
+	// registered artifacts).
+	RunGrid GridRunFunc
 }
+
+// GridRunFunc executes one compiled grid plan. Tests substitute stubs;
+// production servers run on the experiments engine.
+type GridRunFunc func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error)
 
 // Server is the embeddable HTTP/JSON service over the experiment registry.
 type Server struct {
-	engine *jobs.Engine
-	mux    *http.ServeMux
+	engine  *jobs.Engine
+	runGrid GridRunFunc
+	mux     *http.ServeMux
 }
 
 // New returns a Server ready to serve via Handler(). It fails only when
@@ -88,12 +112,21 @@ func New(opts Options) (*Server, error) {
 			Store:      store,
 			Run:        opts.Run,
 		}),
+		runGrid: opts.RunGrid,
+	}
+	if s.runGrid == nil {
+		s.runGrid = func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			return experiments.DefaultPopulations().RunPlan(ctx, plan, cfg)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRun)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux = mux
@@ -139,6 +172,36 @@ type ListResponse struct {
 	Experiments []experiments.Meta `json:"experiments"`
 }
 
+// DevicesResponse is the GET /v1/devices reply: the simulated accelerator
+// catalog, with the aliases grid specs may use.
+type DevicesResponse struct {
+	Devices []device.Info `json:"devices"`
+}
+
+// WorkloadsResponse is the GET /v1/workloads reply: every training recipe
+// a grid spec may name.
+type WorkloadsResponse struct {
+	Workloads []experiments.Workload `json:"workloads"`
+}
+
+// GridRequest is the POST /v1/grid body: a declarative grid spec plus the
+// usual run configuration.
+type GridRequest struct {
+	Grid grid.Spec `json:"grid"`
+	RunRequest
+}
+
+// GridResponse is the POST /v1/grid reply: the submitted job's snapshot
+// (202 while queued/running, 200 when served from the store) plus the
+// compiled grid's identity and declared cost.
+type GridResponse struct {
+	jobs.Snapshot
+	// GridID is the canonical "grid-<hash>" identity of the compiled spec.
+	GridID string `json:"grid_id"`
+	// Estimate prices the grid before any training starts.
+	Estimate experiments.Estimate `json:"estimate"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -153,6 +216,52 @@ func ResultKey(id string, cfg experiments.Config) string {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ListResponse{Experiments: experiments.All()})
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DevicesResponse{Devices: device.Describe()})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, WorkloadsResponse{Workloads: experiments.Workloads()})
+}
+
+// handleGrid is POST /v1/grid: compile the declared spec against the
+// catalogs (400 on any unresolved name), price it, and submit it through
+// the job engine keyed by the canonical spec hash — so identical grids
+// join live jobs, completed ones persist in the store, and a restarted
+// server answers a repeat submission with zero retraining.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req GridRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	plan, err := experiments.CompileSpec(req.Grid)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg, err := buildConfig(req.Scale, req.Replicas, req.Seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg = plan.Config(cfg)
+	key := jobs.ResultKey(plan.ID(), cfg)
+	job, err := s.engine.SubmitTask(plan.ID(), key, cfg, func(ctx context.Context) (*report.Result, error) {
+		return s.runGrid(ctx, plan, cfg)
+	})
+	if err != nil {
+		writeJSON(w, submitErrStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	snap := job.Snapshot()
+	status := http.StatusAccepted
+	if snap.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, GridResponse{Snapshot: snap, GridID: plan.ID(), Estimate: plan.Estimate(cfg)})
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -282,12 +391,21 @@ func submitErrStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// maxBodyBytes bounds request bodies. Sized for the largest legitimate
+// payload — a grid spec near the MaxCells bound with a long recipe sweep
+// is well under 1 MiB — while still refusing unbounded uploads.
+const maxBodyBytes = 1 << 20
+
 // decodeBody parses a JSON request body into dst, tolerating an empty
-// body (all defaults) and rejecting unknown fields.
+// body (all defaults) and rejecting unknown fields and oversized bodies
+// (with an explicit error, not a confusing mid-document EOF).
 func decodeBody(body io.Reader, dst any) error {
-	raw, err := io.ReadAll(io.LimitReader(body, 1<<16))
+	raw, err := io.ReadAll(io.LimitReader(body, maxBodyBytes+1))
 	if err != nil {
 		return fmt.Errorf("reading request body: %w", err)
+	}
+	if len(raw) > maxBodyBytes {
+		return fmt.Errorf("request body exceeds %d bytes", maxBodyBytes)
 	}
 	if len(raw) == 0 {
 		return nil
@@ -313,6 +431,9 @@ func buildConfig(scale string, replicas int, seed uint64) (experiments.Config, e
 	}
 	if replicas < 0 {
 		return cfg, fmt.Errorf("replicas must be >= 0, got %d", replicas)
+	}
+	if replicas > grid.MaxReplicas {
+		return cfg, fmt.Errorf("replicas = %d, max %d", replicas, grid.MaxReplicas)
 	}
 	cfg.Replicas = replicas
 	if seed != 0 {

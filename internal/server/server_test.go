@@ -633,3 +633,158 @@ func TestServerRunErrorSurfaced(t *testing.T) {
 	// A failed job must not be cached: the next request re-executes.
 	postJSON(t, srv, "/v1/experiments/fig1/run", `{}`, http.StatusInternalServerError, &e)
 }
+
+// TestCatalogEndpoints: the device and workload catalogs grid specs
+// compose against.
+func TestCatalogEndpoints(t *testing.T) {
+	srv := newTestServer(t, Options{Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+		return stubResult(id), nil
+	}})
+	var dev DevicesResponse
+	getJSON(t, srv, "/v1/devices", http.StatusOK, &dev)
+	if len(dev.Devices) != 7 {
+		t.Fatalf("devices = %d, want 7 catalog entries", len(dev.Devices))
+	}
+	byAlias := map[string]bool{}
+	for _, d := range dev.Devices {
+		byAlias[d.Alias] = true
+	}
+	if !byAlias["v100"] || !byAlias["rtx5000tc"] {
+		t.Fatalf("aliases missing: %v", byAlias)
+	}
+	var wl WorkloadsResponse
+	getJSON(t, srv, "/v1/workloads", http.StatusOK, &wl)
+	if len(wl.Workloads) != 6 {
+		t.Fatalf("workloads = %d, want 6 recipes", len(wl.Workloads))
+	}
+	for _, w := range wl.Workloads {
+		if w.Name == "" || w.Alias == "" || w.Batch == 0 || w.LR == 0 {
+			t.Errorf("incomplete workload %+v", w)
+		}
+	}
+}
+
+// TestGridSubmit drives POST /v1/grid against a stub executor: 202 with
+// estimate on first submission, job pollable to done, 200 cached on
+// resubmission, 400 on specs that do not compile.
+func TestGridSubmit(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, Options{
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			calls.Add(1)
+			return stubResult(plan.ID()), nil
+		},
+	})
+	body := `{"grid":{"tasks":["smallcnn-cifar10"],"devices":["v100","tpuv2"],"variants":["IMPL"]},"scale":"test","replicas":1,"seed":7}`
+	var resp GridResponse
+	raw := postJSON(t, srv, "/v1/grid", body, http.StatusAccepted, &resp)
+	if resp.GridID == "" || !strings.HasPrefix(resp.GridID, "grid-") {
+		t.Fatalf("grid id = %q: %s", resp.GridID, raw)
+	}
+	if resp.Estimate.Cells != 2 || resp.Estimate.ReplicasPerCell != 1 {
+		t.Fatalf("estimate = %+v, want 2 cells x 1 replica", resp.Estimate)
+	}
+	if resp.Experiment != resp.GridID {
+		t.Fatalf("job labeled %q, want %q", resp.Experiment, resp.GridID)
+	}
+	if resp.Key != resp.GridID+"-test-r1-s7" {
+		t.Fatalf("key = %q", resp.Key)
+	}
+
+	var snap jobs.Snapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, srv, "/v1/jobs/"+resp.ID, http.StatusOK, &snap)
+		if snap.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grid job never terminal: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.State != jobs.StateDone || snap.Result == nil {
+		t.Fatalf("final snapshot = %+v", snap)
+	}
+
+	// Resubmitting the identical grid (even spelled differently) is served
+	// from the store: 200, cached, no new execution.
+	body2 := `{"grid":{"tasks":["SmallCNN CIFAR-10"],"devices":["V100","TPUv2"],"variants":["impl"]},"scale":"test","replicas":1,"seed":7}`
+	var resp2 GridResponse
+	postJSON(t, srv, "/v1/grid", body2, http.StatusOK, &resp2)
+	if !resp2.Cached || resp2.State != jobs.StateDone || resp2.Result == nil {
+		t.Fatalf("resubmission = %+v", resp2.Snapshot)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("grid executed %d times, want 1", calls.Load())
+	}
+
+	// The result is also addressable via GET /v1/results/{key}.
+	var fetched RunResponse
+	getJSON(t, srv, "/v1/results/"+resp.Key, http.StatusOK, &fetched)
+	if fetched.Result == nil {
+		t.Fatal("stored grid result not served by key")
+	}
+
+	for _, bad := range []string{
+		`{"grid":{"tasks":["nope"],"devices":["V100"]}}`,
+		`{"grid":{"tasks":["SmallCNN CIFAR-10"],"devices":["H100"]}}`,
+		`{"grid":{"tasks":["SmallCNN CIFAR-10"]}}`,
+		`{"grid":{"tasks":["SmallCNN CIFAR-10"],"devices":["V100"]},"scale":"galactic"}`,
+		`{"grid":{"tasks":["SmallCNN CIFAR-10"],"devices":["V100"],"recipies":[{}]}}`,
+	} {
+		postJSON(t, srv, "/v1/grid", bad, http.StatusBadRequest, nil)
+	}
+}
+
+// TestGridEndToEndRestart is the acceptance path with real training: a
+// tiny custom grid runs through the engine, persists, and after a server
+// restart the identical submission is served from disk with zero
+// retrains.
+func TestGridEndToEndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	experiments.ResetCache()
+	dir := t.TempDir()
+	// Two cells, one replica, two epochs: real training kept tiny.
+	body := `{"grid":{"tasks":["smallcnn-cifar10"],"devices":["V100","TPUv2"],"variants":["IMPL"],"recipes":[{"epochs":2}]},"scale":"test","replicas":1,"seed":11}`
+
+	srv := newTestServer(t, Options{StoreDir: dir})
+	var resp GridResponse
+	postJSON(t, srv, "/v1/grid", body, http.StatusAccepted, &resp)
+	var snap jobs.Snapshot
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		getJSON(t, srv, "/v1/jobs/"+resp.ID, http.StatusOK, &snap)
+		if snap.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grid job never terminal: %+v", snap)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if snap.State != jobs.StateDone {
+		t.Fatalf("grid job = %+v", snap)
+	}
+	if snap.Progress.Total != 2 || snap.Progress.Done != 2 {
+		t.Fatalf("grid progress = %+v, want 2/2 cells", snap.Progress)
+	}
+	rows := snap.Result.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("grid result rows = %d, want 2", len(rows))
+	}
+
+	// Restart: fresh server over the same store directory.
+	srv2 := newTestServer(t, Options{StoreDir: dir})
+	before := experiments.PopulationTrains()
+	var resp2 GridResponse
+	postJSON(t, srv2, "/v1/grid", body, http.StatusOK, &resp2)
+	if !resp2.Cached || resp2.State != jobs.StateDone || resp2.Result == nil {
+		t.Fatalf("post-restart submission = %+v", resp2.Snapshot)
+	}
+	if trained := experiments.PopulationTrains() - before; trained != 0 {
+		t.Fatalf("post-restart submission trained %d populations, want 0", trained)
+	}
+}

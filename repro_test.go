@@ -49,3 +49,18 @@ func TestQuickConfigDefaults(t *testing.T) {
 		t.Fatalf("QuickConfig scale %v", cfg.Scale)
 	}
 }
+
+func TestGridFacade(t *testing.T) {
+	if len(Devices()) != 7 {
+		t.Fatalf("Devices() lists %d entries", len(Devices()))
+	}
+	if len(Workloads()) != 6 {
+		t.Fatalf("Workloads() lists %d recipes", len(Workloads()))
+	}
+	// Compilation errors surface without training anything.
+	if _, err := RunGrid(context.Background(), GridSpec{
+		Tasks: []string{"nope"}, Devices: []string{"V100"},
+	}, QuickConfig()); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}

@@ -11,7 +11,9 @@
 //	nnrand devices
 //	nnrand workloads
 //	nnrand grid   [-spec FILE | -tasks T,... -devices D,...] [flags]
-//	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-jobs N] [-queue N]
+//	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-ledger DIR] [-jobs N] [-queue N]
+//	nnrand ledger -dir DIR list
+//	nnrand ledger -dir DIR gc -keep N
 //	nnrand submit [-addr URL] [-scale S] [-replicas N] [-seed N] <experiment>...
 //	nnrand status [-addr URL] <job-id>...
 //	nnrand wait   [-addr URL] [-poll DUR] [-tsv|-json] <job-id>...
@@ -35,10 +37,16 @@
 //
 // `serve` starts the embeddable HTTP/JSON service (see internal/server
 // and docs/api.md); with -store DIR completed results persist across
-// restarts. `submit`, `status`, `wait` and `cancel` are thin clients of
-// a running server's job API: submit returns immediately with job IDs,
-// status polls progress, wait blocks until completion and renders the
-// result, cancel aborts queued or running jobs.
+// restarts, and with -ledger DIR every trained replica does too, so a
+// restarted server trains only replicas it has never seen (grid and
+// serve share the flag: `nnrand grid -ledger DIR` warm-starts local runs
+// from the same directory, and -estimate then reports the cache credit).
+// `ledger` inspects a replica ledger directory: `list` tables its
+// records, `gc -keep N` evicts the least recently used beyond N.
+// `submit`, `status`, `wait` and `cancel` are thin clients of a running
+// server's job API: submit returns immediately with job IDs, status
+// polls progress, wait blocks until completion and renders the result,
+// cancel aborts queued or running jobs.
 package main
 
 import (
@@ -60,6 +68,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/jobs"
+	"repro/internal/ledger"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -130,6 +139,8 @@ func run(args []string) error {
 		return serveCmd(subArgs)
 	case "grid":
 		return gridCmd(subArgs)
+	case "ledger":
+		return ledgerCmd(subArgs)
 	case "submit":
 		return submitCmd(subArgs)
 	case "status":
@@ -293,6 +304,7 @@ func gridCmd(args []string) error {
 	seed := fs.Uint64("seed", 20220622, "base seed for all seed policies")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	estimate := fs.Bool("estimate", false, "print the cost estimate and exit without training")
+	ledgerDir := fs.String("ledger", "", "replica ledger directory: warm-start local runs from (and persist trained replicas to) disk")
 	submit := fs.Bool("submit", false, "submit to a running server instead of running locally")
 	addr := fs.String("addr", "http://localhost:8080", "server base URL (with -submit)")
 	tsv := fs.Bool("tsv", false, "emit tab-separated values")
@@ -342,9 +354,21 @@ func gridCmd(args []string) error {
 		return err
 	}
 	cfg := plan.Config(experiments.Config{Scale: scale, Replicas: *replicas, Seed: *seed})
-	est := plan.Estimate(cfg)
+	pops := experiments.DefaultPopulations()
+	if *ledgerDir != "" {
+		led, err := ledger.Open(*ledgerDir, 0)
+		if err != nil {
+			return err
+		}
+		pops.SetLedger(led)
+	}
+	est := pops.Estimate(plan, cfg)
 	fmt.Fprintf(os.Stderr, "nnrand: grid %s: %d cells x %d replicas = %d training runs (%d total epochs)\n",
 		plan.ID(), est.Cells, est.ReplicasPerCell, est.TrainingRuns, est.TotalEpochs)
+	if est.CachedReplicas > 0 {
+		fmt.Fprintf(os.Stderr, "nnrand: grid %s: %d replicas cached, %d to train (%d epochs)\n",
+			plan.ID(), est.CachedReplicas, est.TrainReplicas, est.TrainEpochs)
+	}
 	if *estimate {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -382,7 +406,7 @@ func gridCmd(args []string) error {
 	sched.SetWorkers(*workers)
 	// Run the plan that was validated and estimated above — one
 	// compilation, one identity.
-	res, err := experiments.DefaultPopulations().RunPlan(ctx, plan, cfg)
+	res, err := pops.RunPlan(ctx, plan, cfg)
 	if err != nil {
 		return err
 	}
@@ -415,7 +439,7 @@ func splitList(s string) []string {
 // sub-command that owns the rest of the argument list.
 func isSubcommand(name string) bool {
 	switch name {
-	case "serve", "grid", "submit", "status", "wait", "cancel":
+	case "serve", "grid", "ledger", "submit", "status", "wait", "cancel":
 		return true
 	}
 	return false
@@ -427,16 +451,20 @@ func serveCmd(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", server.DefaultCacheSize, "completed-result store capacity")
 	store := fs.String("store", "", "directory persisting completed results across restarts (empty = memory only)")
+	ledgerDir := fs.String("ledger", "", "directory persisting trained replicas across restarts (empty = memory only)")
+	ledgerCap := fs.Int("ledger-cap", 0, "replica ledger capacity (0 = ledger default)")
 	jobWorkers := fs.Int("jobs", 0, "concurrent jobs (0 = jobs-package default)")
 	queue := fs.Int("queue", 0, "submitted-job backlog bound (0 = jobs-package default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	svc, err := server.New(server.Options{
-		CacheSize:  *cache,
-		StoreDir:   *store,
-		Workers:    *jobWorkers,
-		QueueDepth: *queue,
+		CacheSize:      *cache,
+		StoreDir:       *store,
+		LedgerDir:      *ledgerDir,
+		LedgerCapacity: *ledgerCap,
+		Workers:        *jobWorkers,
+		QueueDepth:     *queue,
 	})
 	if err != nil {
 		return err
@@ -456,6 +484,59 @@ func serveCmd(args []string) error {
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	}
+}
+
+// ledgerCmd inspects and garbage-collects a replica ledger directory:
+// `ledger -dir DIR list` tables every record (most recently used first),
+// `ledger -dir DIR gc -keep N` evicts the least recently used beyond N.
+func ledgerCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand ledger", flag.ContinueOnError)
+	dir := fs.String("dir", "", "replica ledger directory (required)")
+	keep := fs.Int("keep", ledger.DefaultCapacity, "records to retain with gc")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Flags may flank the action: `ledger -dir D gc -keep N` re-parses
+	// what follows the action name.
+	action := "list"
+	if rest := fs.Args(); len(rest) > 0 {
+		action = rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("ledger: unexpected argument %q", fs.Arg(0))
+		}
+	}
+	if *dir == "" {
+		return fmt.Errorf("ledger: -dir is required")
+	}
+	// Index everything: the tool must see records beyond the serving
+	// capacity, and must never evict as a side effect of opening.
+	led, err := ledger.Open(*dir, 1<<30)
+	if err != nil {
+		return err
+	}
+	switch action {
+	case "list":
+		tb := report.New(fmt.Sprintf("Replica ledger %s (%d records)", *dir, led.Len()),
+			"cell", "replica", "acc(%)", "bytes")
+		for _, in := range led.Entries() {
+			tb.AddStrings(in.Cell,
+				fmt.Sprintf("%d", in.Replica),
+				fmt.Sprintf("%.2f", 100*in.TestAccuracy),
+				fmt.Sprintf("%d", in.Bytes))
+		}
+		return tb.Render(os.Stdout)
+	case "gc":
+		if *keep < 0 {
+			return fmt.Errorf("ledger: -keep must be >= 0")
+		}
+		removed := led.GC(*keep)
+		fmt.Fprintf(os.Stdout, "removed %d records, kept %d\n", removed, led.Len())
+		return nil
+	}
+	return fmt.Errorf("ledger: unknown action %q (list or gc)", action)
 }
 
 // apiClient is the thin HTTP client behind submit/status/wait/cancel.
@@ -515,7 +596,8 @@ func (c *apiClient) do(ctx context.Context, method, path string, body, out any) 
 func printSnapshot(w io.Writer, snap jobs.Snapshot) {
 	line := fmt.Sprintf("%s\t%s", snap.ID, snap.State)
 	if snap.Progress.Total > 0 {
-		line += fmt.Sprintf("\t%d/%d cells", snap.Progress.Done, snap.Progress.Total)
+		// Units are replicas for training grids, cells for profiling runs.
+		line += fmt.Sprintf("\t%d/%d", snap.Progress.Done, snap.Progress.Total)
 	}
 	if snap.Cached {
 		line += "\tcached"

@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 	"repro/internal/report"
 	"repro/internal/server"
 )
@@ -277,6 +279,44 @@ func TestClientSubcommandsValidateArgs(t *testing.T) {
 	}
 }
 
+// TestLedgerSubcommand drives `nnrand ledger list` and `ledger gc` over
+// a directory with fabricated records (no training involved).
+func TestLedgerSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	led, err := ledger.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := led.Put("some|cell|key", i, &core.RunResult{
+			Variant: core.Impl, Replica: i, TestAccuracy: 0.5,
+			Weights: []float32{1, 2, 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"ledger", "-dir", dir, "list"})
+	})
+	if !strings.Contains(out, "some|cell|key") || !strings.Contains(out, "3 records") {
+		t.Fatalf("ledger list output:\n%s", out)
+	}
+	out = captureStdout(t, func() error {
+		return run([]string{"ledger", "-dir", dir, "gc", "-keep", "1"})
+	})
+	if !strings.Contains(out, "removed 2") {
+		t.Fatalf("ledger gc output: %q", out)
+	}
+	if err := run([]string{"ledger", "-dir", dir, "shred"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown action") {
+		t.Fatalf("unknown action: err = %v", err)
+	}
+	if err := run([]string{"ledger", "list"}); err == nil ||
+		!strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("missing -dir: err = %v", err)
+	}
+}
+
 // TestGlobalFlagsBeforeClientSubcommandRejected: `nnrand -scale full
 // submit fig1` must fail loudly — the sub-command owns its flags, and
 // silently dropping the global would run at the wrong scale.
@@ -301,14 +341,14 @@ func TestDevicesAndWorkloadsSubcommands(t *testing.T) {
 // TestGridEstimate: the offline estimate path compiles the spec, prices
 // it, and trains nothing.
 func TestGridEstimate(t *testing.T) {
-	before := experiments.PopulationTrains()
+	before := experiments.ReplicaTrains()
 	err := run([]string{"grid", "-estimate",
 		"-tasks", "resnet18-cifar10", "-devices", "v100,tpuv2", "-variants", "ALGO+IMPL,IMPL",
 		"-scale", "test", "-replicas", "2"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if experiments.PopulationTrains() != before {
+	if experiments.ReplicaTrains() != before {
 		t.Fatal("-estimate trained populations")
 	}
 }

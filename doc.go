@@ -23,7 +23,12 @@
 //   - an asynchronous job engine with a persistent, content-addressed
 //     result store (internal/jobs) behind an embeddable HTTP/JSON
 //     service (internal/server): submit, poll progress, cancel, and
-//     fetch results that survive restarts.
+//     fetch results that survive restarts;
+//   - a replica-granular training ledger (internal/ledger) beneath it
+//     all: every trained replica persists as a checksummed record keyed
+//     without its population size, so different-sized populations share
+//     prefixes and a restarted server retrains nothing it has ever
+//     trained.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitution notes, and docs/api.md for the HTTP API.

@@ -1,0 +1,236 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// This file extends the checkpoint codec from bare weight vectors to a
+// replica's full training outcome: the ledger needs metrics and test-set
+// predictions alongside the weights so a replica served from disk is
+// indistinguishable — bit for bit — from one trained in process.
+//
+// Record format (little-endian):
+//
+//	magic   "NNRREPL1"                   8 bytes
+//	cellLen uint32, cell bytes           the replica's cell key
+//	variant uint32
+//	replica uint32
+//	acc     uint64 (float64 bits)        test accuracy
+//	npred   uint32, preds  []uint32      argmax test predictions
+//	nloss   uint32, loss   []uint64      per-epoch mean loss (float64 bits)
+//	nweight uint32, weight []uint32      flattened weights (float32 bits)
+//	crc32 (IEEE) of everything above
+//
+// Scalars and arrays round-trip through raw bit patterns (never text), so
+// decode(encode(x)) == x exactly, including non-finite values.
+
+const resultMagic = "NNRREPL1"
+
+// maxCellKey bounds the cell-key header field against corrupt files.
+const maxCellKey = 1 << 16
+
+// EncodeResult writes one replica's full training outcome under its cell
+// key. The cell key is the population identity *without* the replica
+// count (see the experiments engine), which is what makes the record
+// shareable across population sizes.
+func EncodeResult(w io.Writer, cell string, res *core.RunResult) error {
+	if res == nil {
+		return fmt.Errorf("checkpoint: refusing to encode nil result")
+	}
+	if len(cell) >= maxCellKey {
+		return fmt.Errorf("checkpoint: cell key of %d bytes exceeds %d", len(cell), maxCellKey)
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write([]byte(resultMagic)); err != nil {
+		return fmt.Errorf("checkpoint: write magic: %w", err)
+	}
+	if err := writeString(mw, cell); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(res.Variant)); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(res.Replica)); err != nil {
+		return err
+	}
+	if err := writeU64(mw, math.Float64bits(res.TestAccuracy)); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(len(res.Predictions))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(res.EpochLoss)+4*max(len(res.Predictions), len(res.Weights)))
+	for i, p := range res.Predictions {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(p))
+	}
+	if _, err := mw.Write(buf[:4*len(res.Predictions)]); err != nil {
+		return fmt.Errorf("checkpoint: write predictions: %w", err)
+	}
+	if err := writeU32(mw, uint32(len(res.EpochLoss))); err != nil {
+		return err
+	}
+	for i, v := range res.EpochLoss {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := mw.Write(buf[:8*len(res.EpochLoss)]); err != nil {
+		return fmt.Errorf("checkpoint: write epoch loss: %w", err)
+	}
+	if err := writeU32(mw, uint32(len(res.Weights))); err != nil {
+		return err
+	}
+	for i, v := range res.Weights {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if _, err := mw.Write(buf[:4*len(res.Weights)]); err != nil {
+		return fmt.Errorf("checkpoint: write weights: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("checkpoint: write checksum: %w", err)
+	}
+	return nil
+}
+
+// DecodeResult reads a full replica record, verifying the content
+// checksum. Loaded values are bit-exact.
+func DecodeResult(r io.Reader) (string, *core.RunResult, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	cell, res, err := decodeResultBody(tr, false)
+	if err != nil {
+		return "", nil, err
+	}
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return "", nil, fmt.Errorf("checkpoint: read checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return "", nil, fmt.Errorf("checkpoint: result checksum mismatch: file %08x, content %08x", got, want)
+	}
+	return cell, res, nil
+}
+
+// DecodeResultHeader reads only the scalar prefix of a replica record —
+// cell key, variant, replica index, test accuracy — without loading (or
+// checksumming) the arrays. Listings use it to describe a ledger without
+// paying for every weight vector; anything that will *serve* the record
+// must go through DecodeResult.
+func DecodeResultHeader(r io.Reader) (string, *core.RunResult, error) {
+	return decodeResultBody(r, true)
+}
+
+func decodeResultBody(r io.Reader, headerOnly bool) (string, *core.RunResult, error) {
+	head := make([]byte, len(resultMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return "", nil, fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if string(head) != resultMagic {
+		return "", nil, fmt.Errorf("checkpoint: bad result magic %q", head)
+	}
+	cell, err := readString(r)
+	if err != nil {
+		return "", nil, err
+	}
+	variant, err := readU32(r)
+	if err != nil {
+		return "", nil, err
+	}
+	replica, err := readU32(r)
+	if err != nil {
+		return "", nil, err
+	}
+	accBits, err := readU64(r)
+	if err != nil {
+		return "", nil, err
+	}
+	res := &core.RunResult{
+		Variant:      core.Variant(variant),
+		Replica:      int(replica),
+		TestAccuracy: math.Float64frombits(accBits),
+	}
+	if headerOnly {
+		return cell, res, nil
+	}
+	npred, err := readCount(r, "predictions")
+	if err != nil {
+		return "", nil, err
+	}
+	if npred > 0 {
+		buf := make([]byte, 4*npred)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", nil, fmt.Errorf("checkpoint: read predictions: %w", err)
+		}
+		res.Predictions = make([]int, npred)
+		for i := range res.Predictions {
+			res.Predictions[i] = int(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	nloss, err := readCount(r, "epoch loss")
+	if err != nil {
+		return "", nil, err
+	}
+	if nloss > 0 {
+		buf := make([]byte, 8*nloss)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", nil, fmt.Errorf("checkpoint: read epoch loss: %w", err)
+		}
+		res.EpochLoss = make([]float64, nloss)
+		for i := range res.EpochLoss {
+			res.EpochLoss[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	nweights, err := readCount(r, "weights")
+	if err != nil {
+		return "", nil, err
+	}
+	if nweights > 0 {
+		buf := make([]byte, 4*nweights)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", nil, fmt.Errorf("checkpoint: read weights: %w", err)
+		}
+		res.Weights = make([]float32, nweights)
+		for i := range res.Weights {
+			res.Weights[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return cell, res, nil
+}
+
+// readCount reads an array length, rejecting sizes no legitimate record
+// reaches before any allocation happens.
+func readCount(r io.Reader, what string) (int, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return 0, err
+	}
+	if n > maxDim {
+		return 0, fmt.Errorf("checkpoint: %s count %d implausibly large", what, n)
+	}
+	return int(n), nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("checkpoint: write u64: %w", err)
+	}
+	return nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("checkpoint: read u64: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,113 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sampleResult() *core.RunResult {
+	return &core.RunResult{
+		Variant:      core.AlgoImpl,
+		Replica:      12,
+		TestAccuracy: 0.8125,
+		Predictions:  []int{3, 0, 9, 9, 1},
+		Weights:      []float32{0, float32(math.Copysign(0, -1)), 1.5, float32(math.Inf(1)), 3.1415927},
+		EpochLoss:    []float64{math.Pi, 0.25, math.NaN()},
+	}
+}
+
+// TestResultRoundTripBitExact: decode(encode(x)) == x by bit pattern,
+// including NaN, infinities and negative zero.
+func TestResultRoundTripBitExact(t *testing.T) {
+	want := sampleResult()
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, "cell|key with spaces", want); err != nil {
+		t.Fatal(err)
+	}
+	cell, got, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell != "cell|key with spaces" {
+		t.Fatalf("cell = %q", cell)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip not bit-identical:\n got %+v\nwant %+v", got, want)
+	}
+	// Negative zero must survive as negative zero.
+	if math.Signbit(float64(got.Weights[0])) || !math.Signbit(float64(got.Weights[1])) {
+		t.Fatalf("zero signs lost: %v", got.Weights[:2])
+	}
+}
+
+// TestResultEmptyArrays: a result with no predictions/weights/loss (e.g.
+// a stub) still round-trips.
+func TestResultEmptyArrays(t *testing.T) {
+	want := &core.RunResult{Variant: core.Control, Replica: 0, TestAccuracy: 1}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, "c", want); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+// TestResultChecksumDetectsCorruption: a single flipped byte anywhere in
+// the record fails decoding.
+func TestResultChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, "c", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, i := range []int{len(raw) / 2, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeResult(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+// TestResultHeaderStopsBeforeArrays: the header decoder returns the
+// scalar prefix and never touches the arrays (a truncated tail after the
+// header must not matter).
+func TestResultHeaderStopsBeforeArrays(t *testing.T) {
+	want := sampleResult()
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, "the-cell", want); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate right after the scalar prefix: magic + cell + variant +
+	// replica + accuracy.
+	head := buf.Bytes()[:8+4+len("the-cell")+4+4+8]
+	cell, got, err := DecodeResultHeader(bytes.NewReader(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell != "the-cell" || got.Replica != want.Replica || got.Variant != want.Variant ||
+		got.TestAccuracy != want.TestAccuracy {
+		t.Fatalf("header = %q %+v", cell, got)
+	}
+	if got.Weights != nil || got.Predictions != nil {
+		t.Fatal("header decode loaded arrays")
+	}
+}
+
+// TestResultRejectsBadMagic: a weight checkpoint (or garbage) is not a
+// replica record.
+func TestResultRejectsBadMagic(t *testing.T) {
+	_, _, err := DecodeResult(strings.NewReader("NNRCKPT1xxxxxxxxxxxxxxxx"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v", err)
+	}
+}

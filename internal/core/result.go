@@ -1,0 +1,41 @@
+package core
+
+import "math"
+
+// This file is the per-replica result's serialization surface: RunResult
+// is the unit the replica ledger persists and compares, so equality here
+// is defined bit-for-bit (float comparisons go through raw bit patterns,
+// never tolerances) — the same standard the paper holds replicas to.
+
+// Equal reports whether two replica results are bit-identical: same
+// variant and replica index, same predictions, and float fields equal by
+// bit pattern (so NaNs compare equal to themselves and -0 != +0, exactly
+// as a byte-level comparison of their serialized forms would decide).
+func (r *RunResult) Equal(o *RunResult) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if r.Variant != o.Variant || r.Replica != o.Replica ||
+		math.Float64bits(r.TestAccuracy) != math.Float64bits(o.TestAccuracy) ||
+		len(r.Predictions) != len(o.Predictions) ||
+		len(r.Weights) != len(o.Weights) ||
+		len(r.EpochLoss) != len(o.EpochLoss) {
+		return false
+	}
+	for i, p := range r.Predictions {
+		if p != o.Predictions[i] {
+			return false
+		}
+	}
+	for i, w := range r.Weights {
+		if math.Float32bits(w) != math.Float32bits(o.Weights[i]) {
+			return false
+		}
+	}
+	for i, l := range r.EpochLoss {
+		if math.Float64bits(l) != math.Float64bits(o.EpochLoss[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -20,8 +20,10 @@ import (
 // a Plan (axis names resolved against the task/device/variant catalogs,
 // cells enumerated device→task→variant→recipe); the executor fans the
 // cells out on the sched pool, ticks the context's progress observer once
-// per completed cell, honors cancellation at batch boundaries, and reuses
-// populations through a Populations cache. Registered artifacts declare
+// per resolved replica (per cell for the no-training profiling runs),
+// honors cancellation at batch boundaries, and resolves populations
+// replica-by-replica through a Populations view over the ledger
+// (populations.go). Registered artifacts declare
 // their grids as specs plus a bespoke renderer (the paper's table layouts
 // are idiosyncratic); custom grids render through the generic metric
 // columns.
@@ -45,11 +47,12 @@ func (c cellPop) stability() core.Stability {
 	return core.Summarize(c.results, c.ds.Test.Y, c.ds.Classes)
 }
 
-// fanout runs n grid cells concurrently on the sched pool, announcing the
-// grid size to the context's progress observer (see WithProgress) and
-// ticking it once per completed cell. It is the one fan-out loop in the
-// package: every experiment, training or profiling, runs its cells
-// through here.
+// fanout runs n work items concurrently on the sched pool, announcing the
+// total to the context's progress observer (see WithProgress) and ticking
+// it once per completed item. The profiling experiments (whose unit of
+// work is a cell) run through here; training grids go through
+// runCells/stabilityCells, which announce replica-granular totals and let
+// the population layer tick once per resolved replica.
 func fanout[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	tr := newTracker(ctx, n)
 	return sched.Map(ctx, n, func(i int) (T, error) {
@@ -72,8 +75,9 @@ func fanout[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 // its cell completes so a MaxCells-sized grid cannot pin thousands of
 // model populations beyond the cache bound.
 func (p *Populations) runCells(ctx context.Context, cfg Config, cells []gridCell) ([]cellPop, error) {
-	return fanout(ctx, len(cells), func(i int) (cellPop, error) {
-		results, ds, err := p.population(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
+	tr := newTracker(ctx, len(cells)*cfg.replicas())
+	return sched.Map(ctx, len(cells), func(i int) (cellPop, error) {
+		results, ds, err := p.population(ctx, tr, cfg, cells[i].task, cells[i].dev, cells[i].v)
 		if err != nil {
 			return cellPop{}, err
 		}
@@ -85,8 +89,9 @@ func (p *Populations) runCells(ctx context.Context, cfg Config, cells []gridCell
 // only the per-cell Stability (populations stay in the LRU-bounded cache,
 // not in the result).
 func (p *Populations) stabilityCells(ctx context.Context, cfg Config, cells []gridCell) ([]core.Stability, error) {
-	return fanout(ctx, len(cells), func(i int) (core.Stability, error) {
-		results, ds, err := p.population(ctx, cfg, cells[i].task, cells[i].dev, cells[i].v)
+	tr := newTracker(ctx, len(cells)*cfg.replicas())
+	return sched.Map(ctx, len(cells), func(i int) (core.Stability, error) {
+		results, ds, err := p.population(ctx, tr, cfg, cells[i].task, cells[i].dev, cells[i].v)
 		if err != nil {
 			return core.Stability{}, err
 		}
@@ -278,20 +283,33 @@ func (p *Plan) Config(cfg Config) Config {
 
 // Estimate is the declared cost of running a plan, surfaced by the grid
 // API before any training starts so callers know what a submission pays.
+// The cached/to-train split is replica-granular: a warm ledger credits
+// every replica index it already holds, so overlapping grids and larger
+// re-runs of known cells are priced at their delta, not their total.
 type Estimate struct {
-	// Cells is the number of grid cells (populations to train or reuse).
+	// Cells is the number of grid cells (populations to resolve).
 	Cells int `json:"cells"`
 	// ReplicasPerCell is the resolved population size.
 	ReplicasPerCell int `json:"replicas_per_cell"`
 	// TrainingRuns is Cells x ReplicasPerCell: the model trainings a cold
-	// cache would execute.
+	// ledger would execute.
 	TrainingRuns int `json:"training_runs"`
 	// TotalEpochs sums each training run's epoch schedule at the requested
-	// scale — the closest scale-free proxy for wall time.
+	// scale — the closest scale-free proxy for cold wall time.
 	TotalEpochs int `json:"total_epochs"`
+	// CachedReplicas counts the replicas already held by the population
+	// ledger (memory or disk) — work this submission will not pay for.
+	CachedReplicas int `json:"cached_replicas"`
+	// TrainReplicas is TrainingRuns - CachedReplicas: the replicas that
+	// would actually train.
+	TrainReplicas int `json:"train_replicas"`
+	// TrainEpochs prices only the to-train replicas.
+	TrainEpochs int `json:"train_epochs"`
 }
 
-// Estimate prices the plan under a run configuration.
+// Estimate prices the plan under a run configuration against a cold
+// ledger (no cache credit). Populations.Estimate prices it against a
+// live engine.
 func (p *Plan) Estimate(cfg Config) Estimate {
 	cfg = p.Config(cfg)
 	reps := cfg.EffectiveReplicas()
@@ -299,6 +317,25 @@ func (p *Plan) Estimate(cfg Config) Estimate {
 	for _, c := range p.cells {
 		est.TotalEpochs += c.task.epochs[cfg.Scale] * reps
 	}
+	est.TrainReplicas = est.TrainingRuns
+	est.TrainEpochs = est.TotalEpochs
+	return est
+}
+
+// Estimate prices a plan against this cache's replica ledger: replicas
+// already held (from earlier runs, smaller populations over the same
+// cells, or a previous process writing the same disk ledger) are counted
+// as cached and excluded from the to-train cost.
+func (p *Populations) Estimate(plan *Plan, cfg Config) Estimate {
+	est := plan.Estimate(cfg)
+	cfg = plan.Config(cfg)
+	led := p.Ledger()
+	for _, c := range plan.cells {
+		warm := led.Warm(c.task.cellKey(cfg, c.dev, c.v), est.ReplicasPerCell)
+		est.CachedReplicas += warm
+		est.TrainEpochs -= c.task.epochs[cfg.Scale] * warm
+	}
+	est.TrainReplicas = est.TrainingRuns - est.CachedReplicas
 	return est
 }
 

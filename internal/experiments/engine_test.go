@@ -22,10 +22,10 @@ func tinyTask(epochs int) taskSpec {
 	return taskSmallCNNC10.withRecipe(grid.Recipe{Epochs: epochs})
 }
 
-// TestPopulationKeyHashesFullRecipe pins the cache-key fix: two recipes
-// with the same task name but different hyperparameters must train
-// separate populations (the old key hashed the task name alone, so any
-// override silently collided with the paper population).
+// TestPopulationKeyHashesFullRecipe pins the cache-key contract: two
+// recipes with the same task name but different hyperparameters must
+// train separate populations (a name-only key would let any override
+// silently collide with the paper population).
 func TestPopulationKeyHashesFullRecipe(t *testing.T) {
 	p := NewPopulations(8)
 	cfg := tinyCfg()
@@ -35,54 +35,90 @@ func TestPopulationKeyHashesFullRecipe(t *testing.T) {
 	hotter := base
 	hotter.lr = base.lr * 2 // same name, different recipe
 
-	if _, _, err := p.population(ctx, cfg, base, device.V100, core.Impl); err != nil {
+	if _, _, err := p.population(ctx, nil, cfg, base, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.population(ctx, cfg, hotter, device.V100, core.Impl); err != nil {
+	if _, _, err := p.population(ctx, nil, cfg, hotter, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Trains(); got != 2 {
-		t.Fatalf("same-name recipes with different lr trained %d populations, want 2 (key collision)", got)
+		t.Fatalf("same-name recipes with different lr trained %d replicas, want 2 (key collision)", got)
 	}
 	// Identical recipe: pure cache hit.
-	if _, _, err := p.population(ctx, cfg, base, device.V100, core.Impl); err != nil {
+	if _, _, err := p.population(ctx, nil, cfg, base, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Trains(); got != 2 {
 		t.Fatalf("identical recipe retrained: %d trains", got)
 	}
-	// Every hyperparameter is part of the key.
+	// Every hyperparameter is part of the key — and the replica count is
+	// deliberately NOT (that is what lets population sizes share prefixes).
 	a, b := base, base
 	a.batch, b.weightDecay = 16, 0.001
 	for _, task := range []taskSpec{a, b} {
-		if task.fingerprint(cfg, device.V100, core.Impl) == base.fingerprint(cfg, device.V100, core.Impl) {
-			t.Fatalf("fingerprint ignores a hyperparameter: %+v", task)
+		if task.cellKey(cfg, device.V100, core.Impl) == base.cellKey(cfg, device.V100, core.Impl) {
+			t.Fatalf("cell key ignores a hyperparameter: %+v", task)
 		}
+	}
+	big := cfg
+	big.Replicas = 30
+	if base.cellKey(big, device.V100, core.Impl) != base.cellKey(cfg, device.V100, core.Impl) {
+		t.Fatal("cell key depends on the replica count; prefix sharing impossible")
 	}
 }
 
-// TestPopulationsBounded proves LRU eviction: with capacity 1, training a
-// second population evicts the first, and re-requesting it retrains.
+// TestPopulationsBounded proves LRU eviction at replica granularity:
+// with capacity 1, training a second cell's replica evicts the first,
+// and re-requesting it retrains.
 func TestPopulationsBounded(t *testing.T) {
 	p := NewPopulations(1)
 	cfg := tinyCfg()
 	ctx := context.Background()
 	a, b := tinyTask(1), tinyTask(2)
 
-	if _, _, err := p.population(ctx, cfg, a, device.V100, core.Impl); err != nil {
+	if _, _, err := p.population(ctx, nil, cfg, a, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.population(ctx, cfg, b, device.V100, core.Impl); err != nil {
+	if _, _, err := p.population(ctx, nil, cfg, b, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Len(); got != 1 {
-		t.Fatalf("capacity-1 cache holds %d completed populations", got)
+		t.Fatalf("capacity-1 cache holds %d completed replicas", got)
 	}
-	if _, _, err := p.population(ctx, cfg, a, device.V100, core.Impl); err != nil {
+	if _, _, err := p.population(ctx, nil, cfg, a, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Trains(); got != 3 {
-		t.Fatalf("evicted population not retrained: %d trains, want 3", got)
+		t.Fatalf("evicted replica not retrained: %d trains, want 3", got)
+	}
+}
+
+// TestDatasetCacheBounded proves the dataset cache evicts too: with a
+// cap of 1, alternating between two datasets regenerates on every
+// return, and a bounded-cap cache never grows past its cap.
+func TestDatasetCacheBounded(t *testing.T) {
+	p := NewPopulations(8)
+	p.dsCap = 1
+	gens := map[string]int{}
+	gen := func(name string) func(data.Scale) *data.Dataset {
+		return func(s data.Scale) *data.Dataset {
+			gens[name]++
+			return taskSmallCNNC10.dataset(s)
+		}
+	}
+	p.dataset("a", data.ScaleTest, gen("a"))
+	p.dataset("b", data.ScaleTest, gen("b")) // evicts a
+	p.dataset("a", data.ScaleTest, gen("a")) // regenerates a
+	if gens["a"] != 2 || gens["b"] != 1 {
+		t.Fatalf("generations = %v, want a:2 b:1 (eviction must force regeneration)", gens)
+	}
+	if got := p.ds.Len(); got != 1 {
+		t.Fatalf("capacity-1 dataset cache holds %d entries", got)
+	}
+	// A repeat request for the resident dataset is a pure hit.
+	p.dataset("a", data.ScaleTest, gen("a"))
+	if gens["a"] != 2 {
+		t.Fatalf("resident dataset regenerated: %d", gens["a"])
 	}
 }
 
@@ -162,6 +198,10 @@ func TestPlanConfigAndEstimate(t *testing.T) {
 	if est.Cells != 1 || est.ReplicasPerCell != 2 || est.TrainingRuns != 2 || est.TotalEpochs != 10 {
 		t.Fatalf("estimate = %+v, want 1 cell x 2 replicas x 5 epochs", est)
 	}
+	// A cold estimate credits nothing: every replica is to-train.
+	if est.CachedReplicas != 0 || est.TrainReplicas != 2 || est.TrainEpochs != 10 {
+		t.Fatalf("cold estimate split = %+v, want 0 cached / 2 to train", est)
+	}
 }
 
 // TestGridCellCounts pins the compiled grid size of every spec-registered
@@ -215,8 +255,9 @@ func TestRegistryWorkloadsResolve(t *testing.T) {
 
 // TestProgressTotalsMatchCells asserts the progress contract for the
 // cheap (no-training) experiments in every mode, and for spec-driven
-// training grids when not -short: the announced total equals the number
-// of grid cells actually executed, and every cell ticks.
+// training grids when not -short: profiling experiments announce and
+// tick per cell, training grids per replica (cells × population size),
+// and every unit ticks.
 func TestProgressTotalsMatchCells(t *testing.T) {
 	cases := map[string]int{"fig7": 4, "fig8a": 10, "fig8b": 4}
 	if !testing.Short() {
@@ -225,7 +266,7 @@ func TestProgressTotalsMatchCells(t *testing.T) {
 			if !ok {
 				t.Fatalf("%s is not spec-registered", id)
 			}
-			cases[id] = cells
+			cases[id] = cells * testCfg().replicas()
 		}
 	}
 	for id, want := range cases {
@@ -237,10 +278,10 @@ func TestProgressTotalsMatchCells(t *testing.T) {
 				t.Fatal(err)
 			}
 			if rec.total != want {
-				t.Fatalf("%s announced total %d, want %d cells", id, rec.total, want)
+				t.Fatalf("%s announced total %d, want %d units", id, rec.total, want)
 			}
 			if rec.max != want {
-				t.Fatalf("%s ticked %d cells, want %d", id, rec.max, want)
+				t.Fatalf("%s ticked %d units, want %d", id, rec.max, want)
 			}
 		})
 	}
@@ -261,7 +302,7 @@ func TestRunSpecSharesPopulationsWithArtifacts(t *testing.T) {
 	if _, _, err := population(ctx, cfg, taskSmallCNNC10, device.V100, core.Impl); err != nil {
 		t.Fatal(err)
 	}
-	before := PopulationTrains()
+	before := ReplicaTrains()
 
 	spec := grid.Spec{
 		Tasks:    []string{"smallcnn-cifar10"},
@@ -272,8 +313,8 @@ func TestRunSpecSharesPopulationsWithArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := PopulationTrains() - before; got != 0 {
-		t.Fatalf("custom grid matching a paper cell retrained %d populations, want 0", got)
+	if got := ReplicaTrains() - before; got != 0 {
+		t.Fatalf("custom grid matching a paper cell retrained %d replicas, want 0", got)
 	}
 	// The result's identity is the canonical plan hash, not the hash of the
 	// loose spelling — that is what makes "v100" and "V100" share one key.
@@ -300,8 +341,8 @@ func TestRunSpecSharesPopulationsWithArtifacts(t *testing.T) {
 	if _, err := RunSpec(ctx, spec, cfg); err != nil {
 		t.Fatal(err)
 	}
-	if got := PopulationTrains() - before; got != 1 {
-		t.Fatalf("overridden recipe trained %d populations, want 1", got)
+	if got, want := ReplicaTrains()-before, int64(cfg.replicas()); got != want {
+		t.Fatalf("overridden recipe trained %d replicas, want %d", got, want)
 	}
 }
 

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/grid"
+	"repro/internal/ledger"
+)
+
+// TestReplicaPrefixBitIdentical is the tentpole's correctness hinge:
+// replica i must be bit-identical whether it trains inside a 5-replica
+// or a 30-replica population, and whether it is served fresh, from the
+// in-memory ledger, or from a disk ledger written by a "previous
+// process". Replica outcomes depend only on (cell key, index) — never on
+// the population size or the storage path.
+func TestReplicaPrefixBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	task := tinyTask(1) // 1-epoch SmallCNN: ~tens of ms per replica
+	small := Config{Scale: data.ScaleTest, Replicas: 5, Seed: 7}
+	large := small
+	large.Replicas = 30
+	ctx := context.Background()
+
+	// A size-5 population on a fresh engine.
+	p1 := NewPopulations(64)
+	res5, _, err := p1.population(ctx, nil, small, task, device.V100, core.AlgoImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A size-30 population on another fresh engine, persisted to disk.
+	dir := t.TempDir()
+	led, err := ledger.Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPopulations(64)
+	p2.SetLedger(led)
+	res30, _, err := p2.population(ctx, nil, large, task, device.V100, core.AlgoImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p2.Trains(), int64(30); got != want {
+		t.Fatalf("fresh size-30 run trained %d replicas, want %d", got, want)
+	}
+	for i := range res5 {
+		if !res5[i].Equal(res30[i]) {
+			t.Fatalf("replica %d differs between a size-5 and a size-30 population", i)
+		}
+	}
+
+	// A cold process over the warm directory: everything served from disk,
+	// bit-identical, zero retrains.
+	led2, err := ledger.Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := NewPopulations(64)
+	p3.SetLedger(led2)
+	got30, _, err := p3.population(ctx, nil, large, task, device.V100, core.AlgoImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Trains() != 0 {
+		t.Fatalf("warm ledger retrained %d replicas, want 0", p3.Trains())
+	}
+	for i := range res30 {
+		if !res30[i].Equal(got30[i]) {
+			t.Fatalf("replica %d served from disk differs from fresh-trained", i)
+		}
+	}
+
+	// Growing the population over a warm ledger trains only the delta.
+	p4 := NewPopulations(64)
+	led3, err := ledger.Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4.SetLedger(led3)
+	grown := large
+	grown.Replicas = 32
+	res32, _, err := p4.population(ctx, nil, grown, task, device.V100, core.AlgoImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p4.Trains(), int64(2); got != want {
+		t.Fatalf("growing 30 -> 32 replicas trained %d, want %d (the delta)", got, want)
+	}
+	for i := range res30 {
+		if !res30[i].Equal(res32[i]) {
+			t.Fatalf("replica %d changed when the population grew", i)
+		}
+	}
+}
+
+// TestPopulationsEstimateCreditsWarmReplicas: the warm estimate credits
+// exactly the ledger-resident prefix of each cell.
+func TestPopulationsEstimateCreditsWarmReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	p := NewPopulations(64)
+	cfg := Config{Scale: data.ScaleTest, Replicas: 2, Seed: 7}
+	task := tinyTask(3)
+	if _, _, err := p.population(context.Background(), nil, cfg, task, device.V100, core.Impl); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompileSpec(grid.Spec{
+		Tasks:    []string{"SmallCNN CIFAR-10"},
+		Devices:  []string{"V100"},
+		Variants: []string{"IMPL"},
+		Recipes:  []grid.Recipe{{Epochs: 3}}, // resolves to the same cell as tinyTask(3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := p.Estimate(plan, Config{Scale: data.ScaleTest, Replicas: 5, Seed: 7})
+	if est.TrainingRuns != 5 || est.CachedReplicas != 2 || est.TrainReplicas != 3 {
+		t.Fatalf("estimate = %+v, want 2 cached / 3 to train of 5", est)
+	}
+	if est.TrainEpochs != 3*3 || est.TotalEpochs != 5*3 {
+		t.Fatalf("epochs split = %d/%d, want 9/15", est.TrainEpochs, est.TotalEpochs)
+	}
+}

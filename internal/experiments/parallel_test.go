@@ -11,9 +11,10 @@ import (
 	"repro/internal/device"
 )
 
-// TestPopulationSingleflight proves the singleflight cache: many goroutines
-// racing for the same (task, device, variant) key must train the population
-// exactly once, and all of them must observe the identical result slice.
+// TestPopulationSingleflight proves the per-replica singleflight: many
+// goroutines racing for the same (task, device, variant) cell must train
+// each replica exactly once, and all of them must observe the identical
+// replica objects.
 func TestPopulationSingleflight(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training-backed experiment")
@@ -24,7 +25,7 @@ func TestPopulationSingleflight(t *testing.T) {
 	const callers = 8
 	results := make([][]*core.RunResult, callers)
 	errs := make([]error, callers)
-	before := PopulationTrains()
+	before := ReplicaTrains()
 
 	var start, done sync.WaitGroup
 	start.Add(1)
@@ -40,9 +41,9 @@ func TestPopulationSingleflight(t *testing.T) {
 	start.Done()
 	done.Wait()
 
-	trained := PopulationTrains() - before
-	if trained != 1 {
-		t.Fatalf("%d concurrent callers trained the population %d times, want exactly 1", callers, trained)
+	trained := ReplicaTrains() - before
+	if want := int64(cfg.replicas()); trained != want {
+		t.Fatalf("%d concurrent callers trained %d replicas, want exactly %d (each replica once)", callers, trained, want)
 	}
 	for i := 0; i < callers; i++ {
 		if errs[i] != nil {
@@ -51,10 +52,12 @@ func TestPopulationSingleflight(t *testing.T) {
 		if len(results[i]) != cfg.replicas() {
 			t.Fatalf("caller %d got %d replicas, want %d", i, len(results[i]), cfg.replicas())
 		}
-		// Singleflight shares the flight's result, it does not re-run it:
-		// every caller sees the same underlying slice.
-		if &results[i][0] != &results[0][0] {
-			t.Fatalf("caller %d received a different result slice", i)
+		// Singleflight shares each flight's result, it does not re-run it:
+		// every caller sees the same underlying replica objects.
+		for j := range results[i] {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("caller %d received a different replica %d object", i, j)
+			}
 		}
 	}
 
@@ -62,8 +65,8 @@ func TestPopulationSingleflight(t *testing.T) {
 	if _, _, err := population(context.Background(), cfg, taskSmallCNNC10, device.V100, core.Control); err != nil {
 		t.Fatal(err)
 	}
-	if got := PopulationTrains() - before; got != 1 {
-		t.Fatalf("cache hit retrained: %d trainings", got)
+	if got, want := ReplicaTrains()-before, int64(cfg.replicas()); got != want {
+		t.Fatalf("cache hit retrained: %d trainings, want %d", got, want)
 	}
 }
 

@@ -10,61 +10,106 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/device"
+	"repro/internal/ledger"
+	"repro/internal/lru"
+	"repro/internal/sched"
 )
 
-// DefaultPopulationCapacity bounds how many completed replica populations
-// a Populations cache retains before evicting least-recently-used entries.
-// Populations hold full model weights, so the bound is what keeps a
-// long-lived server's memory flat under arbitrary custom grids.
-const DefaultPopulationCapacity = 64
+// DefaultReplicaCapacity bounds how many trained replicas a Populations
+// cache retains before evicting least-recently-used ones. Replicas hold
+// full model weights, so the bound is what keeps a long-lived server's
+// memory flat under arbitrary custom grids. Sized for every registered
+// paper artifact at the paper's 10-replica populations with headroom for
+// custom grids.
+const DefaultReplicaCapacity = ledger.DefaultCapacity
 
-// Populations is the engine-owned cache of trained replica populations
-// and generated datasets. It replaces the old package-global singleflight
-// maps: construct one with NewPopulations to isolate an engine (tests,
-// embedded services), or use the package-level helpers that delegate to
-// the shared default instance — registered paper artifacts and custom
-// grids run on the same default cache, which is how a custom cell whose
-// resolved recipe matches a paper cell reuses its population.
+// DefaultDatasetCapacity bounds the generated-dataset cache. Each entry
+// is a full synthetic dataset (the largest, ImageNet-like at full scale,
+// is tens of MB), and the shipped catalog has 4 distinct datasets × 3
+// scales — 8 retains a whole scale's worth plus cross-scale slack while
+// still evicting under adversarial grid mixes.
+const DefaultDatasetCapacity = 8
+
+// Populations is the engine-owned population layer: a thin view over a
+// replica ledger (internal/ledger). The paper's central object — a
+// population of independently seeded replicas — is replica-addressable by
+// construction: replica i's outcome is fully determined by (cell key, i)
+// and never by the population's size. So a request for an N-replica
+// population resolves indices 0..N-1 individually against the ledger,
+// serves hits from memory or disk, and singleflights only the misses onto
+// the sched worker pool. Consequences:
 //
-// Entries are keyed by the full resolved recipe fingerprint (every
-// hyperparameter, the device, variant, replica count, scale and seed —
-// see taskSpec.fingerprint), not the task name, so recipe overrides can
-// never collide with paper populations. Lookups are singleflight: the
-// first caller of a key trains while concurrent callers block on the
-// entry's done channel; waiters select on their own context, and a
-// cancelled flight owner never poisons the key for live waiters. Completed
-// entries are LRU-evicted beyond the capacity; in-flight entries are never
-// evicted.
+//   - populations of different sizes share prefixes: a 30-replica request
+//     over a cell a 10-replica run already trained pays for 20 replicas;
+//   - custom grids warm-start from the paper artifacts' replicas (the
+//     cell key excludes the replica count);
+//   - with a disk-backed ledger attached (SetLedger), a restarted server
+//     retrains nothing it has ever trained before.
+//
+// Construct one with NewPopulations to isolate an engine (tests, embedded
+// services), or use the package-level helpers that delegate to the shared
+// default instance — registered paper artifacts and custom grids run on
+// the same default cache.
+//
+// Cell keys are the full resolved recipe fingerprint (every
+// hyperparameter, the device, variant, scale and seed — see
+// taskSpec.cellKey) *without* the replica count, plus the replica index.
+// Per-replica lookups are singleflight: the first caller of a missing
+// (cell, index) trains while concurrent callers block on the flight's
+// done channel; waiters select on their own context, and a cancelled
+// flight owner never poisons the replica for live waiters. Completed
+// replicas are LRU-evicted beyond the ledger's capacity; in-flight ones
+// are never evicted (they are not in the ledger until complete).
 type Populations struct {
 	mu      sync.Mutex
-	cap     int
-	entries map[string]*popEntry
-	// lru holds completed keys, least recently used first.
-	lru []string
+	led     *ledger.Ledger
+	flights map[string]*repFlight
 
-	dsMu sync.Mutex
-	ds   map[string]*dsEntry
+	dsMu  sync.Mutex
+	dsCap int
+	ds    *lru.List[string, *dsEntry]
 
-	// trains counts populations actually trained (not served from cache);
-	// tests use deltas to prove singleflight dedup and key separation.
+	// trains counts replicas actually trained by this cache (ledger hits
+	// excluded); tests use deltas to prove singleflight dedup, prefix
+	// sharing and warm restarts.
 	trains atomic.Int64
 }
 
-// NewPopulations returns an empty cache retaining at most capacity
-// completed populations (<= 0 picks DefaultPopulationCapacity).
+// NewPopulations returns an empty cache backed by a memory-only ledger
+// retaining at most capacity replicas (<= 0 picks
+// DefaultReplicaCapacity).
 func NewPopulations(capacity int) *Populations {
-	if capacity <= 0 {
-		capacity = DefaultPopulationCapacity
-	}
 	return &Populations{
-		cap:     capacity,
-		entries: map[string]*popEntry{},
-		ds:      map[string]*dsEntry{},
+		led:     ledger.Memory(capacity),
+		flights: map[string]*repFlight{},
+		dsCap:   DefaultDatasetCapacity,
+		ds:      lru.New[string, *dsEntry](),
 	}
 }
 
+// SetLedger replaces the cache's backing replica store — the server's
+// -ledger wiring attaches a disk-backed ledger here at startup so every
+// replica trained survives restarts. Call before serving traffic;
+// replicas recorded in the previous ledger are no longer visible.
+func (p *Populations) SetLedger(l *ledger.Ledger) {
+	if l == nil {
+		return
+	}
+	p.mu.Lock()
+	p.led = l
+	p.mu.Unlock()
+}
+
+// Ledger exposes the backing replica store (diagnostics and the server's
+// estimate path).
+func (p *Populations) Ledger() *ledger.Ledger {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.led
+}
+
 // defaultPops is the shared engine cache behind the package-level API.
-var defaultPops = NewPopulations(DefaultPopulationCapacity)
+var defaultPops = NewPopulations(DefaultReplicaCapacity)
 
 // DefaultPopulations returns the shared cache used by registered paper
 // artifacts and RunSpec, so embedders can run custom grids on an engine
@@ -75,39 +120,40 @@ func DefaultPopulations() *Populations { return defaultPops }
 // retrains).
 func ResetCache() { defaultPops.Reset() }
 
-// PopulationTrains reports how many populations the default cache has
-// actually trained (cache hits excluded) since process start. The server
-// tests use deltas of this counter to prove that concurrent identical
-// requests train each population exactly once.
-func PopulationTrains() int64 { return defaultPops.Trains() }
+// ReplicaTrains reports how many replicas the default cache has actually
+// trained (ledger hits excluded) since process start. The server tests
+// use deltas of this counter to prove that concurrent identical requests
+// train each replica exactly once and that warm ledgers train only the
+// delta.
+func ReplicaTrains() int64 { return defaultPops.Trains() }
 
-// Reset drops every cached population and dataset.
+// Reset drops every cached replica and dataset. In-flight trainings
+// complete into the (cleared) ledger but their flights are forgotten.
 func (p *Populations) Reset() {
 	p.mu.Lock()
-	p.entries = map[string]*popEntry{}
-	p.lru = nil
+	p.led.Reset()
+	p.flights = map[string]*repFlight{}
 	p.mu.Unlock()
 	p.dsMu.Lock()
-	p.ds = map[string]*dsEntry{}
+	p.ds = lru.New[string, *dsEntry]()
 	p.dsMu.Unlock()
 }
 
-// Trains reports how many populations this cache has actually trained.
+// Trains reports how many replicas this cache has actually trained.
 func (p *Populations) Trains() int64 { return p.trains.Load() }
 
-// Len reports how many completed populations are currently cached.
-func (p *Populations) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.lru)
+// Len reports how many completed replicas are currently retained.
+func (p *Populations) Len() int { return p.Ledger().Len() }
+
+// repFlight is one in-flight replica training.
+type repFlight struct {
+	done chan struct{}
+	res  *core.RunResult
+	err  error
 }
 
-type popEntry struct {
-	done    chan struct{}
-	results []*core.RunResult
-	err     error
-}
-
+// dsEntry is one generated dataset; once guards single generation under
+// concurrency.
 type dsEntry struct {
 	once sync.Once
 	ds   *data.Dataset
@@ -121,14 +167,23 @@ func datasetCached(task string, s data.Scale, gen func(data.Scale) *data.Dataset
 }
 
 // dataset builds (or fetches) the dataset for one task at one scale.
-// Concurrent callers build it exactly once and share the instance.
+// Concurrent callers build it exactly once and share the instance. The
+// cache is LRU-bounded: beyond dsCap entries the coldest is dropped (its
+// current holders keep their reference; a later request regenerates —
+// generation is deterministic, so the regenerated dataset is identical).
 func (p *Populations) dataset(task string, s data.Scale, gen func(data.Scale) *data.Dataset) *data.Dataset {
 	key := fmt.Sprintf("%s@%s", task, s)
 	p.dsMu.Lock()
-	e, ok := p.ds[key]
-	if !ok {
+	var e *dsEntry
+	if node, ok := p.ds.Get(key); ok {
+		p.ds.MoveToFront(node)
+		e = node.Value
+	} else {
 		e = &dsEntry{}
-		p.ds[key] = e
+		p.ds.PushFront(key, e)
+		for p.ds.Len() > p.dsCap {
+			p.ds.Remove(p.ds.Back())
+		}
 	}
 	p.dsMu.Unlock()
 	e.once.Do(func() {
@@ -139,8 +194,8 @@ func (p *Populations) dataset(task string, s data.Scale, gen func(data.Scale) *d
 			if r := recover(); r != nil {
 				e.err = fmt.Errorf("experiments: dataset %s: panic during generation: %v", key, r)
 				p.dsMu.Lock()
-				if p.ds[key] == e {
-					delete(p.ds, key)
+				if node, ok := p.ds.Get(key); ok && node.Value == e {
+					p.ds.Remove(node)
 				}
 				p.dsMu.Unlock()
 				panic(r)
@@ -156,103 +211,134 @@ func (p *Populations) dataset(task string, s data.Scale, gen func(data.Scale) *d
 	return e.ds
 }
 
-// population delegates to the default cache.
+// population delegates to the default cache (no progress tracking).
 func population(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
-	return defaultPops.population(ctx, cfg, t, dev, v)
+	return defaultPops.population(ctx, nil, cfg, t, dev, v)
 }
 
-// population trains (or fetches from cache) the replica population for one
-// (recipe, device, variant) cell of an experiment grid. Concurrent calls
-// with the same fingerprint train the population exactly once. If the
-// flight owner is cancelled, callers whose own context is still live
-// transparently retry with a fresh flight, so one aborted request never
-// poisons the result for everyone queued behind it.
-func (p *Populations) population(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+// population resolves the replica population for one (recipe, device,
+// variant) cell: ledger hits (memory or disk) are served directly, and
+// only the missing replica indices train, fanned out over the sched pool
+// with per-replica singleflight — concurrent calls needing the same
+// (cell, index) train it exactly once, whatever their population sizes.
+// Each resolved replica (hit or fresh) ticks tr once, so progress is
+// replica-granular. If a flight's owner is cancelled, waiters whose own
+// context is still live transparently retry with a fresh flight, so one
+// aborted request never poisons a replica for everyone queued behind it.
+func (p *Populations) population(ctx context.Context, tr *tracker, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
+	tc, ds := t.trainConfig(p, cfg, dev)
+	cell := t.cellKey(cfg, dev, v)
+	n := cfg.replicas()
+	out := make([]*core.RunResult, n)
+	var misses []int
+	p.mu.Lock()
+	led := p.led
+	p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if res, ok := led.Get(cell, i); ok {
+			out[i] = res
+			tr.tick()
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	if len(misses) == 0 {
+		return out, ds, nil
+	}
+	_, err := sched.Map(ctx, len(misses), func(k int) (struct{}, error) {
+		i := misses[k]
+		res, err := p.replica(ctx, cell, t, dev, tc, v, i)
+		if err != nil {
+			return struct{}{}, err
+		}
+		out[i] = res
+		tr.tick()
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, ds, nil
+}
+
+// replica resolves one (cell, index) with owner-cancellation retry: a
+// waiter that inherited a cancelled owner's error re-flights as long as
+// its own context is live.
+func (p *Populations) replica(ctx context.Context, cell string, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
 	for {
-		results, ds, err := p.flight(ctx, cfg, t, dev, v)
+		res, err := p.replicaFlight(ctx, cell, t, dev, tc, v, i)
 		if err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The owner of the flight we waited on was cancelled; our
 			// context is live, so run (or join) a fresh flight.
 			continue
 		}
-		return results, ds, err
+		return res, err
 	}
 }
 
-func (p *Populations) flight(ctx context.Context, cfg Config, t taskSpec, dev device.Config, v core.Variant) ([]*core.RunResult, *data.Dataset, error) {
-	tc, ds := t.trainConfig(p, cfg, dev)
-	key := t.fingerprint(cfg, dev, v)
+func (p *Populations) replicaFlight(ctx context.Context, cell string, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
+	key := fmt.Sprintf("%s#%d", cell, i)
 	p.mu.Lock()
-	e, ok := p.entries[key]
-	if !ok {
-		e = &popEntry{done: make(chan struct{})}
-		p.entries[key] = e
+	led := p.led
+	e, waiting := p.flights[key]
+	if !waiting {
+		// Re-check the ledger under the flights lock: the previous owner
+		// publishes to the ledger *before* retiring its flight, so a miss
+		// here while no flight exists means the replica truly needs
+		// training.
+		if res, ok := led.Get(cell, i); ok {
+			p.mu.Unlock()
+			return res, nil
+		}
+		e = &repFlight{done: make(chan struct{})}
+		p.flights[key] = e
 	}
 	p.mu.Unlock()
 
-	if ok {
-		// Someone else owns the flight (or it is already complete): wait for
-		// it or for our own cancellation, whichever comes first.
+	if waiting {
+		// Someone else owns the flight: wait for it or for our own
+		// cancellation, whichever comes first.
 		select {
 		case <-e.done:
 		case <-ctx.Done():
-			return nil, nil, ctx.Err()
+			return nil, ctx.Err()
 		}
+		return e.res, e.err
+	}
+
+	// We own the flight. If training panics, record the cause for the
+	// waiters, drop the flight so a retry can rebuild, and keep crash
+	// semantics on this goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("experiments: %s on %s under %s replica %d: panic during training: %v", t.name, dev.Name, v, i, r)
+			p.dropFlight(key, e)
+			close(e.done)
+			panic(r)
+		}
+	}()
+	p.trains.Add(1)
+	res, err := core.RunReplica(ctx, tc, v, i)
+	if err != nil {
+		e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
 	} else {
-		// We own the flight. If training panics, record the cause for the
-		// waiters, drop the entry so a retry can rebuild, and keep crash
-		// semantics on this goroutine.
-		func() {
-			defer close(e.done)
-			defer func() {
-				if r := recover(); r != nil {
-					e.err = fmt.Errorf("experiments: %s on %s under %s: panic during training: %v", t.name, dev.Name, v, r)
-					panic(r)
-				}
-			}()
-			p.trains.Add(1)
-			results, err := core.RunVariant(ctx, tc, v, cfg.replicas())
-			if err != nil {
-				e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
-				return
-			}
-			e.results = results
-		}()
+		e.res = res
+		// Publish before retiring the flight so no caller can miss both. A
+		// failed disk write degrades durability, not correctness: the
+		// replica is still indexed in memory.
+		_ = led.Put(cell, i, res)
 	}
-	if e.err != nil {
-		// Drop the failed entry so a later call can retry (the error is
-		// still returned to everyone who waited on this flight).
-		p.mu.Lock()
-		if p.entries[key] == e {
-			delete(p.entries, key)
-		}
-		p.mu.Unlock()
-		return nil, nil, e.err
-	}
-	p.touch(key, e)
-	return e.results, ds, nil
+	p.dropFlight(key, e)
+	close(e.done)
+	return e.res, e.err
 }
 
-// touch records a completed entry as most recently used and evicts the
-// least recently used completed entries beyond capacity. In-flight entries
-// (not yet in lru) are never evicted, so a key being trained cannot be
-// dropped mid-flight by cache pressure.
-func (p *Populations) touch(key string, e *popEntry) {
+// dropFlight retires a finished flight (guarded against racing Reset).
+func (p *Populations) dropFlight(key string, e *repFlight) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.entries[key] != e {
-		return // raced with Reset or a failure-path delete
+	if p.flights[key] == e {
+		delete(p.flights, key)
 	}
-	for i, k := range p.lru {
-		if k == key {
-			p.lru = append(append(p.lru[:i:i], p.lru[i+1:]...), key)
-			return
-		}
-	}
-	p.lru = append(p.lru, key)
-	for len(p.lru) > p.cap {
-		delete(p.entries, p.lru[0])
-		p.lru = p.lru[1:]
-	}
+	p.mu.Unlock()
 }

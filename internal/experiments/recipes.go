@@ -48,18 +48,22 @@ func (t taskSpec) trainConfig(p *Populations, cfg Config, dev device.Config) (co
 	}, ds
 }
 
-// fingerprint is the population-cache identity of one grid cell: the full
-// resolved training recipe (not just the task name), the device, the noise
-// variant, and the run configuration. Keying on every hyperparameter is
-// what lets custom grids with recipe overrides coexist with the paper
-// populations in one cache without collisions — and conversely lets a
-// custom cell whose recipe matches a paper artifact's reuse its population
-// verbatim.
-func (t taskSpec) fingerprint(cfg Config, dev device.Config, v core.Variant) string {
-	return fmt.Sprintf("%s|lr%g|b%d|e%d|d%g|wd%g|aug%d:%t|%s|%s|r%d|%s|s%d",
+// cellKey is the replica-ledger identity of one grid cell: the full
+// resolved training recipe (not just the task name), the device, the
+// noise variant, scale and seed — and deliberately *not* the replica
+// count. Replica i's outcome depends only on this key and i (seed
+// policies derive from (seed, variant, index); see core.SeedsFor), so
+// populations of every size over one cell share the same ledger records:
+// a 30-replica request warm-starts from a 10-replica run's prefix.
+// Keying on every hyperparameter is what lets custom grids with recipe
+// overrides coexist with the paper populations in one ledger without
+// collisions — and conversely lets a custom cell whose recipe matches a
+// paper artifact's reuse its replicas verbatim.
+func (t taskSpec) cellKey(cfg Config, dev device.Config, v core.Variant) string {
+	return fmt.Sprintf("%s|lr%g|b%d|e%d|d%g|wd%g|aug%d:%t|%s|%s|%s|s%d",
 		t.name, t.lr, t.batch, t.epochs[cfg.Scale], t.decayAt, t.weightDecay,
 		t.augment.Shift, t.augment.Flip,
-		dev.Name, v, cfg.replicas(), cfg.Scale, cfg.Seed)
+		dev.Name, v, cfg.Scale, cfg.Seed)
 }
 
 // withRecipe returns a copy of the task with the override's non-zero

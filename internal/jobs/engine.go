@@ -52,9 +52,12 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("job %s: %s", e.Kind, e.Message) }
 
-// Progress is the fraction of an experiment's grid completed: Done cells
-// out of Total. Total is 0 until the runner sizes its grid (and stays 0
-// for experiments with no training grid, which complete near-instantly).
+// Progress is the fraction of an experiment's work completed: Done units
+// out of Total. Training grids report replica-granular units (a cell's
+// cached replicas tick instantly, so a mostly-warm grid shows most of its
+// bar at submission); profiling experiments report per-cell units. Total
+// is 0 until the runner sizes its work (and stays 0 for experiments with
+// no grid, which complete near-instantly).
 type Progress struct {
 	Done  int `json:"done"`
 	Total int `json:"total"`

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/lru"
 	"repro/internal/report"
 )
 
@@ -27,27 +28,20 @@ func ResultKey(id string, cfg experiments.Config) string {
 }
 
 // Store is a bounded, optionally disk-backed cache of completed results.
-// The index is LRU-ordered via an intrusive doubly-linked list: Get and
-// Put are O(1) including eviction. With a directory configured, Put
-// persists each result as {key}.json via write-to-temp + atomic rename,
-// eviction unlinks the file, and Open rebuilds the index from the
-// directory — so results survive process restarts and the directory
+// The index is LRU-ordered via the shared intrusive doubly-linked list
+// (internal/lru — the same machinery behind the replica ledger's GC):
+// Get and Put are O(1) including eviction. With a directory configured,
+// Put persists each result as {key}.json via write-to-temp + atomic
+// rename, eviction unlinks the file, and Open rebuilds the index from
+// the directory — so results survive process restarts and the directory
 // never outgrows the configured capacity.
 type Store struct {
-	mu    sync.Mutex
-	dir   string // "" = memory-only
-	cap   int
-	items map[string]*storeEntry
-	// head is the most recently used entry, tail the eviction candidate.
-	head, tail *storeEntry
-}
-
-// storeEntry is one doubly-linked LRU node. res is nil for entries known
-// only from the directory scan; Get loads them lazily.
-type storeEntry struct {
-	key        string
-	res        *report.Result
-	prev, next *storeEntry
+	mu  sync.Mutex
+	dir string // "" = memory-only
+	cap int
+	// idx values are nil for entries known only from the directory scan;
+	// Get loads them lazily.
+	idx *lru.List[string, *report.Result]
 }
 
 // Open returns a Store holding at most capacity results (<= 0 picks
@@ -61,7 +55,7 @@ func Open(dir string, capacity int) (*Store, error) {
 	if capacity <= 0 {
 		capacity = DefaultStoreCapacity
 	}
-	s := &Store{dir: dir, cap: capacity, items: map[string]*storeEntry{}}
+	s := &Store{dir: dir, cap: capacity, idx: lru.New[string, *report.Result]()}
 	if dir == "" {
 		return s, nil
 	}
@@ -97,7 +91,7 @@ func Open(dir string, capacity int) (*Store, error) {
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].mod < found[j].mod })
 	for _, f := range found { // oldest first, so the newest ends up MRU
-		s.insertFront(&storeEntry{key: f.key})
+		s.idx.PushFront(f.key, nil)
 	}
 	s.evictOverCap()
 	return s, nil
@@ -112,7 +106,7 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.items)
+	return s.idx.Len()
 }
 
 // Get returns the result stored under key, loading it from disk if the
@@ -122,20 +116,20 @@ func (s *Store) Len() int {
 func (s *Store) Get(key string) (*report.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.items[key]
+	e, ok := s.idx.Get(key)
 	if !ok {
 		return nil, false
 	}
-	if e.res == nil {
+	if e.Value == nil {
 		res, err := s.load(key)
 		if err != nil {
 			s.remove(e, true)
 			return nil, false
 		}
-		e.res = res
+		e.Value = res
 	}
-	s.moveToFront(e)
-	return e.res, true
+	s.idx.MoveToFront(e)
+	return e.Value, true
 }
 
 // Put stores res under key, evicting the least recently used entries
@@ -155,11 +149,11 @@ func (s *Store) Put(key string, res *report.Result) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.items[key]; ok {
-		e.res = res
-		s.moveToFront(e)
+	if e, ok := s.idx.Get(key); ok {
+		e.Value = res
+		s.idx.MoveToFront(e)
 	} else {
-		s.insertFront(&storeEntry{key: key, res: res})
+		s.idx.PushFront(key, res)
 		s.evictOverCap()
 	}
 	if s.dir == "" {
@@ -214,66 +208,25 @@ func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".json
 func (s *Store) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.items))
-	for e := s.head; e != nil; e = e.next {
-		out = append(out, e.key)
+	out := make([]string, 0, s.idx.Len())
+	for e := s.idx.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Key)
 	}
 	return out
 }
 
-// Linked-list plumbing. Callers hold s.mu.
-
-func (s *Store) insertFront(e *storeEntry) {
-	e.prev, e.next = nil, s.head
-	if s.head != nil {
-		s.head.prev = e
-	}
-	s.head = e
-	if s.tail == nil {
-		s.tail = e
-	}
-	s.items[e.key] = e
-}
-
-func (s *Store) moveToFront(e *storeEntry) {
-	if s.head == e {
-		return
-	}
-	// Unlink.
-	e.prev.next = e.next
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	// Relink at head.
-	e.prev, e.next = nil, s.head
-	s.head.prev = e
-	s.head = e
-}
-
-// remove unlinks e from the list and index; dropFile also unlinks its
-// on-disk form so eviction bounds the directory, not just memory.
-func (s *Store) remove(e *storeEntry, dropFile bool) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		s.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	delete(s.items, e.key)
+// remove unlinks e from the index; dropFile also unlinks its on-disk
+// form so eviction bounds the directory, not just memory. Callers hold
+// s.mu.
+func (s *Store) remove(e *lru.Entry[string, *report.Result], dropFile bool) {
+	s.idx.Remove(e)
 	if dropFile && s.dir != "" {
-		_ = os.Remove(s.path(e.key))
+		_ = os.Remove(s.path(e.Key))
 	}
 }
 
 func (s *Store) evictOverCap() {
-	for len(s.items) > s.cap {
-		s.remove(s.tail, true)
+	for s.idx.Len() > s.cap {
+		s.remove(s.idx.Back(), true)
 	}
 }

@@ -1,0 +1,391 @@
+// Package ledger is the replica-granular training ledger: a bounded,
+// optionally disk-backed store of trained replica outcomes
+// (core.RunResult), keyed by (cell key, replica index). The cell key is a
+// population's full resolved identity *without* its replica count, so a
+// 5-replica and a 30-replica population over the same cell address the
+// same records — populations of different sizes share prefixes, and a
+// request only ever pays for the replica indices the ledger has never
+// seen.
+//
+// With a directory configured, every Put also persists the replica as a
+// checkpoint record (write-to-temp + atomic rename, content checksum) and
+// Open rebuilds the index from the directory in modification-time order —
+// a restarted process serves every replica it has ever trained without
+// retraining any of them. Eviction is LRU beyond the configured capacity
+// and unlinks the on-disk record, so the directory never outgrows the
+// bound either.
+//
+// Determinism contract: a replica's outcome is fully determined by its
+// cell key and index, so a record served from disk is bit-identical to
+// retraining it — the codec round-trips every float by bit pattern and
+// the decoder verifies the content checksum before serving.
+//
+// A Ledger is safe for concurrent use.
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/lru"
+)
+
+// DefaultCapacity bounds retained replicas when Open is given a
+// non-positive capacity: enough for every registered paper artifact at
+// the paper's 10-replica populations with room for custom grids.
+const DefaultCapacity = 1024
+
+// fileExt is the on-disk record suffix.
+const fileExt = ".nnr"
+
+// tmpPrefix marks in-progress writes; leftovers from a crashed writer are
+// garbage and removed on Open.
+const tmpPrefix = ".tmp-"
+
+// entry is one indexed replica. cell is "" and res nil for records known
+// only from the directory scan; Get loads and verifies them lazily.
+type entry struct {
+	cell    string
+	replica int
+	res     *core.RunResult
+}
+
+// Ledger is the replica store. See the package comment for semantics.
+type Ledger struct {
+	mu  sync.Mutex
+	dir string // "" = memory-only
+	cap int
+	idx *lru.List[string, *entry]
+
+	// trains counts replicas recorded via Put since open; restart tests
+	// use deltas to prove a warm ledger trains only what it has never seen.
+	trains atomic.Int64
+}
+
+// Memory returns a memory-only ledger (capacity <= 0 picks
+// DefaultCapacity). It cannot fail: there is no directory to scan.
+func Memory(capacity int) *Ledger {
+	l, _ := Open("", capacity)
+	return l
+}
+
+// Open returns a ledger over dir holding at most capacity replicas
+// (<= 0 picks DefaultCapacity; list/GC tooling passes a huge capacity to
+// index everything). dir "" keeps the ledger memory-only; otherwise the
+// directory is created if needed and existing records are indexed in
+// modification-time order (newest = most recently used), with anything
+// beyond capacity evicted oldest-first.
+func Open(dir string, capacity int) (*Ledger, error) {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	l := &Ledger{dir: dir, cap: capacity, idx: lru.New[string, *entry]()}
+	if dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: opening %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: scanning %s: %w", dir, err)
+	}
+	type onDisk struct {
+		stem    string
+		replica int
+		mod     int64
+	}
+	var found []onDisk
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A writer crashed between create and rename; the torn file was
+			// never published, so it is garbage.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		stem, ok := strings.CutSuffix(name, fileExt)
+		if !ok || e.IsDir() {
+			continue
+		}
+		rep, ok := replicaFromStem(stem)
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{stem, rep, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod < found[j].mod })
+	for _, f := range found { // oldest first, so the newest ends up MRU
+		l.idx.PushFront(f.stem, &entry{replica: f.replica})
+	}
+	l.evictOverCap()
+	return l, nil
+}
+
+// stem is the index key and on-disk filename stem of one record:
+// a 16-hex digest of the cell key plus the replica index. The digest
+// keeps arbitrary cell keys (spaces, pipes) filename-safe; the full cell
+// string is stored inside the record and verified on load, so a digest
+// collision degrades to a cache miss, never to serving the wrong replica.
+func stem(cell string, replica int) string {
+	sum := sha256.Sum256([]byte(cell))
+	return hex.EncodeToString(sum[:8]) + "-r" + strconv.Itoa(replica)
+}
+
+// replicaFromStem parses the replica index back out of a filename stem.
+func replicaFromStem(s string) (int, bool) {
+	i := strings.LastIndex(s, "-r")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[i+2:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Dir reports the backing directory ("" when memory-only).
+func (l *Ledger) Dir() string { return l.dir }
+
+// Len reports the number of indexed replicas.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Len()
+}
+
+// Trains reports how many replicas have been recorded via Put since the
+// ledger was opened.
+func (l *Ledger) Trains() int64 { return l.trains.Load() }
+
+// Get returns the replica stored under (cell, index), loading and
+// checksum-verifying it from disk if it was indexed by Open but not yet
+// read. A hit refreshes the record's LRU position. A record that fails
+// to load, or whose stored cell key does not match (digest collision),
+// is dropped from the index and reported as a miss.
+func (l *Ledger) Get(cell string, replica int) (*core.RunResult, bool) {
+	key := stem(cell, replica)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.idx.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if e.Value.res == nil {
+		gotCell, res, err := l.load(key)
+		if err != nil {
+			l.remove(e, true) // corrupt or vanished: drop the record and file
+			return nil, false
+		}
+		e.Value.cell, e.Value.replica, e.Value.res = gotCell, res.Replica, res
+	}
+	if e.Value.cell != cell || e.Value.replica != replica {
+		return nil, false // digest collision: the record belongs to another cell
+	}
+	l.idx.MoveToFront(e)
+	return e.Value.res, true
+}
+
+// Has reports whether (cell, index) is indexed, without loading it or
+// refreshing its recency — the estimate path's peek.
+func (l *Ledger) Has(cell string, replica int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.idx.Get(stem(cell, replica))
+	return ok
+}
+
+// Warm counts how many of a population's first n replica indices are
+// already indexed — the "cache credit" a request for n replicas over
+// this cell would get.
+func (l *Ledger) Warm(cell string, n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	warm := 0
+	for i := 0; i < n; i++ {
+		if _, ok := l.idx.Get(stem(cell, i)); ok {
+			warm++
+		}
+	}
+	return warm
+}
+
+// Put records a trained replica under (cell, index), evicting the least
+// recently used records (and their files) beyond capacity. With a
+// directory configured the record is also persisted atomically; the
+// in-memory index is updated even if the disk write fails, and the write
+// error is returned so callers can surface degraded durability.
+func (l *Ledger) Put(cell string, replica int, res *core.RunResult) error {
+	if res == nil {
+		return fmt.Errorf("ledger: refusing to store nil replica %d of %q", replica, cell)
+	}
+	key := stem(cell, replica)
+	// Encode before taking the lock: serializing a weight vector is the
+	// CPU-heavy part of a Put, and concurrent replica resolutions must not
+	// serialize behind it.
+	var buf bytes.Buffer
+	var encErr error
+	if l.dir != "" {
+		encErr = checkpoint.EncodeResult(&buf, cell, res)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.idx.Get(key); ok {
+		e.Value.cell, e.Value.res = cell, res
+		l.idx.MoveToFront(e)
+	} else {
+		l.idx.PushFront(key, &entry{cell: cell, replica: replica, res: res})
+		l.evictOverCap()
+	}
+	l.trains.Add(1)
+	if l.dir == "" {
+		return nil
+	}
+	if encErr != nil {
+		return fmt.Errorf("ledger: persisting %s: %w", key, encErr)
+	}
+	// Publish (write + rename) while the lock is held so a concurrent
+	// eviction's unlink can never race the rename and resurrect an evicted
+	// record on disk.
+	return l.persist(key, buf.Bytes())
+}
+
+// persist publishes an encoded record as {stem}.nnr with write-to-temp +
+// rename, so readers (including a future process) only ever observe
+// complete, checksummed files. Callers hold l.mu.
+func (l *Ledger) persist(key string, record []byte) error {
+	tmp, err := os.CreateTemp(l.dir, tmpPrefix+key+"-*")
+	if err != nil {
+		return fmt.Errorf("ledger: persisting %s: %w", key, err)
+	}
+	_, werr := tmp.Write(record)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), l.path(key))
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("ledger: persisting %s: %w", key, werr)
+	}
+	return nil
+}
+
+func (l *Ledger) load(key string) (string, *core.RunResult, error) {
+	f, err := os.Open(l.path(key))
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	return checkpoint.DecodeResult(f)
+}
+
+func (l *Ledger) path(key string) string { return filepath.Join(l.dir, key+fileExt) }
+
+// remove unlinks e from the index; dropFile also removes its on-disk form.
+// Callers hold l.mu.
+func (l *Ledger) remove(e *lru.Entry[string, *entry], dropFile bool) {
+	l.idx.Remove(e)
+	if dropFile && l.dir != "" {
+		_ = os.Remove(l.path(e.Key))
+	}
+}
+
+func (l *Ledger) evictOverCap() {
+	for l.idx.Len() > l.cap {
+		l.remove(l.idx.Back(), true)
+	}
+}
+
+// GC evicts the least recently used records beyond keep (files included)
+// and returns how many were removed. `nnrand ledger gc` is a thin wrapper
+// over this; the same machinery runs implicitly on every Put.
+func (l *Ledger) GC(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for l.idx.Len() > keep {
+		l.remove(l.idx.Back(), true)
+		removed++
+	}
+	return removed
+}
+
+// Reset drops the in-memory index (files are untouched). Tests use it to
+// simulate a cold process over a warm directory.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.idx = lru.New[string, *entry]()
+}
+
+// Info describes one indexed replica for listings.
+type Info struct {
+	// Cell is the population identity the replica belongs to.
+	Cell string
+	// Replica is the index within the population.
+	Replica int
+	// TestAccuracy is the replica's recorded test accuracy.
+	TestAccuracy float64
+	// Bytes is the on-disk record size (0 when memory-only or unreadable).
+	Bytes int64
+	// Loaded reports whether the full record is resident in memory.
+	Loaded bool
+}
+
+// Entries lists every indexed replica from most to least recently used.
+// Records not yet resident have only their headers read from disk (cheap:
+// no weight vectors); records whose files have vanished or gone
+// unreadable are listed with what the index still knows.
+func (l *Ledger) Entries() []Info {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Info, 0, l.idx.Len())
+	for e := l.idx.Front(); e != nil; e = e.Next() {
+		info := Info{Cell: e.Value.cell, Replica: e.Value.replica, Loaded: e.Value.res != nil}
+		if e.Value.res != nil {
+			info.TestAccuracy = e.Value.res.TestAccuracy
+		}
+		if l.dir != "" {
+			if st, err := os.Stat(l.path(e.Key)); err == nil {
+				info.Bytes = st.Size()
+			}
+			if e.Value.res == nil {
+				if cell, res, err := l.header(e.Key); err == nil {
+					info.Cell, info.Replica, info.TestAccuracy = cell, res.Replica, res.TestAccuracy
+				}
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func (l *Ledger) header(key string) (string, *core.RunResult, error) {
+	f, err := os.Open(l.path(key))
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	return checkpoint.DecodeResultHeader(f)
+}

@@ -1,0 +1,106 @@
+// Package lru provides the intrusive doubly-linked-list LRU index shared
+// by the caches that need O(1) recency maintenance with eviction from the
+// cold end: the jobs result store, the replica ledger, and the experiment
+// engine's dataset cache. The list owns ordering and key lookup only —
+// capacity policy (when to evict, what teardown an eviction implies, e.g.
+// unlinking a file) stays with the caller, which is what lets one type
+// back stores with very different eviction side effects.
+//
+// A List is not safe for concurrent use; callers hold their own mutex, as
+// every owner here already serializes its cache operations.
+package lru
+
+// List is an intrusive doubly-linked LRU over keyed entries. The zero
+// value is not usable; construct with New.
+type List[K comparable, V any] struct {
+	items      map[K]*Entry[K, V]
+	head, tail *Entry[K, V]
+}
+
+// Entry is one linked node. Key is immutable after insertion; Value may
+// be mutated freely by the owner (the list never reads it).
+type Entry[K comparable, V any] struct {
+	Key        K
+	Value      V
+	prev, next *Entry[K, V]
+}
+
+// New returns an empty list.
+func New[K comparable, V any]() *List[K, V] {
+	return &List[K, V]{items: map[K]*Entry[K, V]{}}
+}
+
+// Len reports the number of entries.
+func (l *List[K, V]) Len() int { return len(l.items) }
+
+// Get returns the entry for k without changing its recency (pair with
+// MoveToFront when the access should count as a use).
+func (l *List[K, V]) Get(k K) (*Entry[K, V], bool) {
+	e, ok := l.items[k]
+	return e, ok
+}
+
+// PushFront inserts a new most-recently-used entry. The key must not
+// already be present (callers look up first; a duplicate insert would
+// orphan the old node and leak it from the map).
+func (l *List[K, V]) PushFront(k K, v V) *Entry[K, V] {
+	if _, dup := l.items[k]; dup {
+		panic("lru: duplicate PushFront key")
+	}
+	e := &Entry[K, V]{Key: k, Value: v, next: l.head}
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.items[k] = e
+	return e
+}
+
+// MoveToFront marks e most recently used.
+func (l *List[K, V]) MoveToFront(e *Entry[K, V]) {
+	if l.head == e {
+		return
+	}
+	// Unlink.
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	// Relink at head.
+	e.prev, e.next = nil, l.head
+	l.head.prev = e
+	l.head = e
+}
+
+// Remove unlinks e from the list and index. Removing an entry twice is a
+// caller bug and corrupts the list; owners guard with their map lookup.
+func (l *List[K, V]) Remove(e *Entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(l.items, e.Key)
+}
+
+// Front returns the most recently used entry (nil when empty).
+func (l *List[K, V]) Front() *Entry[K, V] { return l.head }
+
+// Back returns the least recently used entry — the eviction candidate
+// (nil when empty).
+func (l *List[K, V]) Back() *Entry[K, V] { return l.tail }
+
+// Next returns the entry one step colder than e (nil at the cold end),
+// for MRU-to-LRU iteration from Front.
+func (e *Entry[K, V]) Next() *Entry[K, V] { return e.next }

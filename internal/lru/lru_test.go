@@ -1,0 +1,73 @@
+package lru
+
+import "testing"
+
+func keys[K comparable, V any](l *List[K, V]) []K {
+	var out []K
+	for e := l.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+func TestOrderAndEviction(t *testing.T) {
+	l := New[string, int]()
+	a := l.PushFront("a", 1)
+	l.PushFront("b", 2)
+	c := l.PushFront("c", 3)
+	if got := keys(l); len(got) != 3 || got[0] != "c" || got[2] != "a" {
+		t.Fatalf("order = %v, want [c b a]", got)
+	}
+	l.MoveToFront(a)
+	if l.Front() != a || l.Back().Key != "b" {
+		t.Fatalf("after touch: front %v back %v", l.Front().Key, l.Back().Key)
+	}
+	l.Remove(l.Back()) // evict coldest
+	if got := keys(l); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("after evict = %v, want [a c]", got)
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("evicted key still indexed")
+	}
+	l.Remove(a)
+	l.Remove(c)
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Fatalf("emptied list: len %d front %v back %v", l.Len(), l.Front(), l.Back())
+	}
+	// Reuse after emptying.
+	l.PushFront("d", 4)
+	if l.Front().Key != "d" || l.Back().Key != "d" {
+		t.Fatal("single-entry list broken after drain")
+	}
+}
+
+func TestMoveToFrontMiddle(t *testing.T) {
+	l := New[int, struct{}]()
+	for i := 0; i < 5; i++ {
+		l.PushFront(i, struct{}{})
+	}
+	mid, _ := l.Get(2)
+	l.MoveToFront(mid)
+	got := keys(l)
+	want := []int{2, 4, 3, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	l.MoveToFront(mid) // front is a no-op
+	if l.Front() != mid {
+		t.Fatal("front touch moved the entry")
+	}
+}
+
+func TestDuplicatePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate PushFront did not panic")
+		}
+	}()
+	l := New[string, int]()
+	l.PushFront("k", 1)
+	l.PushFront("k", 2)
+}

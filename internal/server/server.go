@@ -30,7 +30,12 @@
 // results land in the engine's content-addressed store. With a store
 // directory configured, results persist across restarts, so resubmitting
 // a configuration the server has ever completed trains nothing and is
-// served from disk. The synchronous run endpoint is submit+wait over the
+// served from disk. With a ledger directory configured the population
+// layer additionally persists every trained replica (internal/ledger),
+// which covers the cases the result store cannot: a *new* grid that
+// merely overlaps previously trained cells, or a larger replica count
+// over them, trains only the replicas the ledger has never seen — the
+// grid estimate reports that split as cached_replicas/train_replicas. The synchronous run endpoint is submit+wait over the
 // same engine: its jobs are owned by their HTTP clients, and when every
 // client for a run has disconnected the job is cancelled so abandoned
 // work stops burning the pool — unless an asynchronous submission has
@@ -55,6 +60,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/jobs"
+	"repro/internal/ledger"
 	"repro/internal/report"
 )
 
@@ -73,6 +79,23 @@ type Options struct {
 	// StoreDir, when non-empty, persists completed results as JSON files
 	// there so they survive restarts. Empty keeps results in memory only.
 	StoreDir string
+	// LedgerDir, when non-empty, persists every trained replica there
+	// (internal/ledger) and attaches the ledger to the population cache,
+	// so a restarted server warm-starts: any grid overlapping previously
+	// trained cells — even at a larger replica count — trains only the
+	// replicas the ledger has never seen. With Populations nil this
+	// attaches to the process-wide default cache — deliberately, because
+	// registered paper artifacts train through it too — so a process
+	// should configure at most one ledger-backed Server this way;
+	// embedders running several Servers must inject distinct Populations.
+	LedgerDir string
+	// LedgerCapacity bounds retained replicas (0 = the ledger default).
+	LedgerCapacity int
+	// Populations overrides the population cache behind custom-grid
+	// execution and warm estimates (nil = experiments.DefaultPopulations,
+	// which the registered artifacts also train through). Tests inject
+	// isolated caches here to simulate process restarts.
+	Populations *experiments.Populations
 	// Workers bounds how many jobs execute concurrently (0 = the jobs
 	// package default).
 	Workers int
@@ -81,7 +104,7 @@ type Options struct {
 	QueueDepth int
 	// Run overrides the experiment executor (nil = experiments.Run).
 	Run RunFunc
-	// RunGrid overrides the custom-grid executor (nil = the default
+	// RunGrid overrides the custom-grid executor (nil = the configured
 	// population cache's RunPlan, which shares populations with the
 	// registered artifacts).
 	RunGrid GridRunFunc
@@ -94,16 +117,28 @@ type GridRunFunc func(ctx context.Context, plan *experiments.Plan, cfg experimen
 // Server is the embeddable HTTP/JSON service over the experiment registry.
 type Server struct {
 	engine  *jobs.Engine
+	pops    *experiments.Populations
 	runGrid GridRunFunc
 	mux     *http.ServeMux
 }
 
 // New returns a Server ready to serve via Handler(). It fails only when
-// a configured store directory cannot be created or scanned.
+// a configured store or ledger directory cannot be created or scanned.
 func New(opts Options) (*Server, error) {
 	store, err := jobs.Open(opts.StoreDir, opts.CacheSize)
 	if err != nil {
 		return nil, err
+	}
+	pops := opts.Populations
+	if pops == nil {
+		pops = experiments.DefaultPopulations()
+	}
+	if opts.LedgerDir != "" {
+		led, err := ledger.Open(opts.LedgerDir, opts.LedgerCapacity)
+		if err != nil {
+			return nil, err
+		}
+		pops.SetLedger(led)
 	}
 	s := &Server{
 		engine: jobs.NewEngine(jobs.Options{
@@ -112,11 +147,12 @@ func New(opts Options) (*Server, error) {
 			Store:      store,
 			Run:        opts.Run,
 		}),
+		pops:    pops,
 		runGrid: opts.RunGrid,
 	}
 	if s.runGrid == nil {
 		s.runGrid = func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
-			return experiments.DefaultPopulations().RunPlan(ctx, plan, cfg)
+			return pops.RunPlan(ctx, plan, cfg)
 		}
 	}
 	mux := http.NewServeMux()
@@ -193,7 +229,11 @@ type GridRequest struct {
 
 // GridResponse is the POST /v1/grid reply: the submitted job's snapshot
 // (202 while queued/running, 200 when served from the store) plus the
-// compiled grid's identity and declared cost.
+// compiled grid's identity and declared cost. The estimate is priced
+// against the live replica ledger: cached_replicas counts the replicas
+// already held (warm restarts, overlapping grids, smaller prior runs of
+// the same cells) and train_replicas/train_epochs what this submission
+// would actually pay.
 type GridResponse struct {
 	jobs.Snapshot
 	// GridID is the canonical "grid-<hash>" identity of the compiled spec.
@@ -249,6 +289,10 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg = plan.Config(cfg)
 	key := jobs.ResultKey(plan.ID(), cfg)
+	// Price the grid before submitting: the estimate must describe what
+	// this submission pays, and a fast job could start landing replicas in
+	// the ledger before the response is assembled.
+	est := s.pops.Estimate(plan, cfg)
 	job, err := s.engine.SubmitTask(plan.ID(), key, cfg, func(ctx context.Context) (*report.Result, error) {
 		return s.runGrid(ctx, plan, cfg)
 	})
@@ -261,7 +305,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	if snap.State.Terminal() {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, GridResponse{Snapshot: snap, GridID: plan.ID(), Estimate: plan.Estimate(cfg)})
+	writeJSON(w, status, GridResponse{Snapshot: snap, GridID: plan.ID(), Estimate: est})
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -377,12 +377,12 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 
 // TestConcurrentTable2RunsTrainOnce is an acceptance-criteria test: two
 // concurrent identical POST /v1/experiments/table2/run requests must train
-// each replica population exactly once. The experiments package counts
-// actual trainings (cache hits excluded); table2's grid is 10 task/device
-// pairs x 3 variants = 30 populations, so the delta across both requests
-// together must be exactly 30. One replica per population keeps the test
-// well inside the go test per-package timeout on a 1-core machine while
-// still training the full table2 grid.
+// each replica exactly once. The experiments package counts actual replica
+// trainings (ledger hits excluded); table2's grid is 10 task/device pairs
+// x 3 variants = 30 cells at one replica each, so the delta across both
+// requests together must be exactly 30. One replica per population keeps
+// the test well inside the go test per-package timeout on a 1-core machine
+// while still training the full table2 grid.
 func TestConcurrentTable2RunsTrainOnce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training-backed experiment")
@@ -390,7 +390,7 @@ func TestConcurrentTable2RunsTrainOnce(t *testing.T) {
 	experiments.ResetCache()
 	srv := newTestServer(t, Options{})
 
-	before := experiments.PopulationTrains()
+	before := experiments.ReplicaTrains()
 	const clients = 2
 	var wg sync.WaitGroup
 	wg.Add(clients)
@@ -420,9 +420,9 @@ func TestConcurrentTable2RunsTrainOnce(t *testing.T) {
 		t.FailNow()
 	}
 
-	trained := experiments.PopulationTrains() - before
+	trained := experiments.ReplicaTrains() - before
 	if trained != 30 {
-		t.Fatalf("two concurrent table2 requests trained %d populations, want exactly 30 (each population once)", trained)
+		t.Fatalf("two concurrent table2 requests trained %d replicas, want exactly 30 (each replica once)", trained)
 	}
 	a, _ := json.Marshal(responses[0].Result.Tables)
 	b, _ := json.Marshal(responses[1].Result.Tables)
@@ -475,7 +475,7 @@ func TestRestartServesFromDisk(t *testing.T) {
 	// "Restart": a fresh server process knows nothing in memory — wipe the
 	// process-global population cache so only the on-disk store can dedup.
 	experiments.ResetCache()
-	before := experiments.PopulationTrains()
+	before := experiments.ReplicaTrains()
 
 	s2, err := New(Options{StoreDir: dir})
 	if err != nil {
@@ -508,7 +508,7 @@ func TestRestartServesFromDisk(t *testing.T) {
 	if snap.State != jobs.StateDone || !snap.Cached || snap.Result == nil {
 		t.Fatalf("post-restart snapshot = %+v", snap)
 	}
-	if trained := experiments.PopulationTrains() - before; trained != 0 {
+	if trained := experiments.ReplicaTrains() - before; trained != 0 {
 		t.Fatalf("post-restart submission trained %d populations, want 0 (served from disk)", trained)
 	}
 	// The served result is the stored one, bit-for-bit at the JSON layer.
@@ -516,6 +516,73 @@ func TestRestartServesFromDisk(t *testing.T) {
 	b, _ := json.Marshal(snap.Result)
 	if string(a) != string(b) {
 		t.Fatalf("restarted server served a different result:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestLedgerRestartTrainsOnlyDelta is the PR's acceptance-criteria test:
+// a server restarted with the same -ledger directory, given a previously
+// UNSEEN grid (larger replica count, so a different result key — the
+// result store cannot help) that overlaps prior cells, trains only the
+// missing replicas. Isolated Populations caches simulate the two cold
+// processes; the replica-train counter on each pins the delta exactly.
+func TestLedgerRestartTrainsOnlyDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	ledgerDir := t.TempDir()
+	// Two cells, two epochs: real training kept tiny.
+	grid := `"grid":{"tasks":["smallcnn-cifar10"],"devices":["V100","TPUv2"],"variants":["IMPL"],"recipes":[{"epochs":2}]}`
+	runGrid := func(srv *httptest.Server, replicas int, wantCached int) jobs.Snapshot {
+		t.Helper()
+		body := fmt.Sprintf(`{%s,"scale":"test","replicas":%d,"seed":11}`, grid, replicas)
+		var resp GridResponse
+		postJSON(t, srv, "/v1/grid", body, http.StatusAccepted, &resp)
+		if resp.Estimate.CachedReplicas != wantCached {
+			t.Fatalf("estimate credits %d cached replicas, want %d (estimate = %+v)",
+				resp.Estimate.CachedReplicas, wantCached, resp.Estimate)
+		}
+		var snap jobs.Snapshot
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			getJSON(t, srv, "/v1/jobs/"+resp.ID, http.StatusOK, &snap)
+			if snap.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("grid job never terminal: %+v", snap)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if snap.State != jobs.StateDone {
+			t.Fatalf("grid job = %+v", snap)
+		}
+		return snap
+	}
+
+	// Process 1: a 1-replica run over a cold ledger trains 2 replicas
+	// (one per cell).
+	pops1 := experiments.NewPopulations(0)
+	srv1 := newTestServer(t, Options{LedgerDir: ledgerDir, Populations: pops1})
+	first := runGrid(srv1, 1, 0)
+	if pops1.Trains() != 2 {
+		t.Fatalf("cold run trained %d replicas, want 2", pops1.Trains())
+	}
+	if first.Progress.Total != 2 || first.Progress.Done != 2 {
+		t.Fatalf("cold run progress = %+v, want 2/2 replicas", first.Progress)
+	}
+
+	// Process 2 ("restart"): a fresh cache over the same ledger directory,
+	// asked for 3 replicas per cell. The result key is new (r3, never
+	// stored), but the estimate credits the 2 replicas on disk and the run
+	// trains only the 4 missing ones.
+	pops2 := experiments.NewPopulations(0)
+	srv2 := newTestServer(t, Options{LedgerDir: ledgerDir, Populations: pops2})
+	grown := runGrid(srv2, 3, 2)
+	if pops2.Trains() != 4 {
+		t.Fatalf("restarted server trained %d replicas, want 4 (only the delta)", pops2.Trains())
+	}
+	if grown.Progress.Total != 6 || grown.Progress.Done != 6 {
+		t.Fatalf("grown run progress = %+v, want 6/6 replicas", grown.Progress)
 	}
 }
 
@@ -778,13 +845,13 @@ func TestGridEndToEndRestart(t *testing.T) {
 
 	// Restart: fresh server over the same store directory.
 	srv2 := newTestServer(t, Options{StoreDir: dir})
-	before := experiments.PopulationTrains()
+	before := experiments.ReplicaTrains()
 	var resp2 GridResponse
 	postJSON(t, srv2, "/v1/grid", body, http.StatusOK, &resp2)
 	if !resp2.Cached || resp2.State != jobs.StateDone || resp2.Result == nil {
 		t.Fatalf("post-restart submission = %+v", resp2.Snapshot)
 	}
-	if trained := experiments.PopulationTrains() - before; trained != 0 {
+	if trained := experiments.ReplicaTrains() - before; trained != 0 {
 		t.Fatalf("post-restart submission trained %d populations, want 0", trained)
 	}
 }

@@ -12,6 +12,7 @@
 //	nnrand workloads
 //	nnrand grid   [-spec FILE | -tasks T,... -devices D,...] [flags]
 //	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-ledger DIR] [-jobs N] [-queue N]
+//	              [-resume] [-retries N] [-job-timeout DUR] [-drain DUR]
 //	nnrand ledger -dir DIR list
 //	nnrand ledger -dir DIR gc -keep N
 //	nnrand submit [-addr URL] [-scale S] [-replicas N] [-seed N] <experiment>...
@@ -59,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +71,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/ledger"
+	"repro/internal/quarantine"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -446,6 +449,10 @@ func isSubcommand(name string) bool {
 }
 
 // serveCmd runs the HTTP/JSON service until the process is interrupted.
+// On SIGINT/SIGTERM it drains gracefully: readiness flips to 503, new
+// submissions are refused, in-flight jobs get -drain to finish, and
+// whatever is still running then is cancelled with its journal entry
+// preserved for the next `serve -resume`.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("nnrand serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -455,8 +462,15 @@ func serveCmd(args []string) error {
 	ledgerCap := fs.Int("ledger-cap", 0, "replica ledger capacity (0 = ledger default)")
 	jobWorkers := fs.Int("jobs", 0, "concurrent jobs (0 = jobs-package default)")
 	queue := fs.Int("queue", 0, "submitted-job backlog bound (0 = jobs-package default)")
+	resume := fs.Bool("resume", false, "resubmit the jobs journaled as unfinished by the previous process (needs -store)")
+	retries := fs.Int("retries", 0, "transient-failure retries per job (0 = default, negative = never)")
+	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock watchdog per job attempt (0 = none)")
+	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *store == "" {
+		return fmt.Errorf("serve: -resume needs -store (the job journal lives beside the result store)")
 	}
 	svc, err := server.New(server.Options{
 		CacheSize:      *cache,
@@ -465,11 +479,20 @@ func serveCmd(args []string) error {
 		LedgerCapacity: *ledgerCap,
 		Workers:        *jobWorkers,
 		QueueDepth:     *queue,
+		Resume:         *resume,
+		Retries:        *retries,
+		JobTimeout:     *jobTimeout,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+	if *resume {
+		fmt.Fprintf(os.Stderr, "nnrand: resumed %d journaled job(s)\n", svc.Recovered())
+		if rerr := svc.RecoveryError(); rerr != nil {
+			fmt.Fprintf(os.Stderr, "nnrand: some journal entries could not be resumed (kept for the next attempt):\n%v\n", rerr)
+		}
+	}
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -480,8 +503,14 @@ func serveCmd(args []string) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		fmt.Fprintf(os.Stderr, "nnrand: draining (up to %s)...\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if err := svc.Drain(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "nnrand: drain deadline hit; unfinished jobs stay journaled for `serve -resume`\n")
+		}
+		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
 		return srv.Shutdown(shutdownCtx)
 	}
 }
@@ -527,7 +556,14 @@ func ledgerCmd(args []string) error {
 				fmt.Sprintf("%.2f", 100*in.TestAccuracy),
 				fmt.Sprintf("%d", in.Bytes))
 		}
-		return tb.Render(os.Stdout)
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		if n := quarantine.Count(*dir); n > 0 {
+			fmt.Fprintf(os.Stderr, "nnrand: %d corrupt record(s) in %s — inspect the .reason files\n",
+				n, filepath.Join(*dir, quarantine.Dir))
+		}
+		return nil
 	case "gc":
 		if *keep < 0 {
 			return fmt.Errorf("ledger: -keep must be >= 0")

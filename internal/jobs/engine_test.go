@@ -441,7 +441,7 @@ func TestSubmitTask(t *testing.T) {
 		return stubResult("grid-abc123"), nil
 	}
 
-	j, err := e.SubmitTask("grid-abc123", "grid-abc123-test-r1-s7", testConfig(), run)
+	j, err := e.SubmitTask("grid-abc123", "grid-abc123-test-r1-s7", testConfig(), nil, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +459,7 @@ func TestSubmitTask(t *testing.T) {
 	// The completed result is stored under the task key: resubmitting the
 	// same key is born done+cached with zero executions — the property that
 	// makes grid results survive restarts when the store is disk-backed.
-	j2, err := e.SubmitTask("grid-abc123", "grid-abc123-test-r1-s7", testConfig(), run)
+	j2, err := e.SubmitTask("grid-abc123", "grid-abc123-test-r1-s7", testConfig(), nil, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestSubmitTask(t *testing.T) {
 	}
 
 	// A different key is different work.
-	j3, err := e.SubmitTask("grid-def456", "grid-def456-test-r1-s7", testConfig(), run)
+	j3, err := e.SubmitTask("grid-def456", "grid-def456-test-r1-s7", testConfig(), nil, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +480,7 @@ func TestSubmitTask(t *testing.T) {
 		t.Fatalf("distinct key did not run: %d calls", calls.Load())
 	}
 
-	if _, err := e.SubmitTask("grid-x", "grid-x-test-r1-s7", testConfig(), nil); err == nil {
+	if _, err := e.SubmitTask("grid-x", "grid-x-test-r1-s7", testConfig(), nil, nil); err == nil {
 		t.Fatal("nil run func accepted")
 	}
 }

@@ -1,0 +1,224 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/quarantine"
+)
+
+// Journal entry kinds.
+const (
+	// KindExperiment marks a registered-experiment submission; recovery
+	// resubmits it through the engine's default RunFunc.
+	KindExperiment = "experiment"
+	// KindTask marks an arbitrary-task submission (custom grids); recovery
+	// needs a Resolver to turn the entry's payload back into a runnable.
+	KindTask = "task"
+)
+
+// JournalEntry is the durable spec of one non-terminal job: everything a
+// future process needs to resubmit it. It deliberately stores the
+// *request* (experiment or grid spec plus configuration), not any
+// partial result — partial training state already persists replica by
+// replica in the ledger, so a recovered job retrains only the delta.
+type JournalEntry struct {
+	// Kind is KindExperiment or KindTask.
+	Kind string `json:"kind"`
+	// Experiment is the job's label: a registry ID for experiment jobs, a
+	// "grid-<hash>" identity for task jobs.
+	Experiment string `json:"experiment"`
+	// Key is the job's canonical result key (and the entry's filename
+	// stem — one entry per key, exactly like the live-job dedup).
+	Key string `json:"key"`
+	// Scale, Replicas and Seed reconstruct the run configuration.
+	Scale    string `json:"scale"`
+	Replicas int    `json:"replicas,omitempty"`
+	Seed     uint64 `json:"seed"`
+	// Payload carries kind-specific recovery data: for task jobs, the
+	// canonical grid spec JSON.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Config reconstructs the run configuration the entry was submitted with.
+func (e JournalEntry) Config() (experiments.Config, error) {
+	scale, err := data.ParseScale(e.Scale)
+	if err != nil {
+		return experiments.Config{}, fmt.Errorf("jobs: journal entry %q: %w", e.Key, err)
+	}
+	return experiments.Config{Scale: scale, Replicas: e.Replicas, Seed: e.Seed}, nil
+}
+
+// journalEntry builds the durable form of one submission.
+func journalEntry(kind, experiment, key string, cfg experiments.Config, payload json.RawMessage) JournalEntry {
+	return JournalEntry{
+		Kind:       kind,
+		Experiment: experiment,
+		Key:        key,
+		Scale:      cfg.Scale.String(),
+		Replicas:   cfg.Replicas,
+		Seed:       cfg.Seed,
+		Payload:    payload,
+	}
+}
+
+// Journal is the durable job journal: one JSON file per non-terminal
+// job, keyed (and named) by the job's result key, published by
+// write-to-temp + atomic rename. The engine records an entry when a job
+// is queued and removes it when the job reaches a genuine terminal state
+// (done, failed, or user-cancelled) — but NOT when a shutdown or drain
+// cancels it, so `serve -resume` after a crash *or* a graceful restart
+// resubmits exactly the work that was still owed. Entries that fail to
+// decode are quarantined, never deleted.
+//
+// A Journal is safe for concurrent use.
+type Journal struct {
+	mu  sync.Mutex
+	dir string
+
+	quarantined atomic.Int64
+}
+
+// OpenJournal returns a journal over dir, creating it if needed. The
+// server places it next to the result store (a subdirectory, so the
+// store's own directory scan never mistakes entries for results).
+func OpenJournal(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: journal needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir reports the backing directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Quarantined reports how many undecodable entries this journal has
+// moved aside since it was opened.
+func (j *Journal) Quarantined() int64 { return j.quarantined.Load() }
+
+// Record persists entry under its key, replacing any previous entry for
+// that key. The write is atomic (temp + rename); the "journal.write"
+// fault point can fail or tear it.
+func (j *Journal) Record(e JournalEntry) error {
+	if e.Key == "" || strings.ContainsAny(e.Key, "/\\") || strings.HasPrefix(e.Key, ".") {
+		return fmt.Errorf("jobs: invalid journal key %q", e.Key)
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encoding journal entry %q: %w", e.Key, err)
+	}
+	b = append(b, '\n')
+	b, injErr := faults.FireWrite("journal.write", b)
+	if injErr != nil {
+		return fmt.Errorf("jobs: journaling %q: %w", e.Key, injErr)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp, err := os.CreateTemp(j.dir, tmpPrefix+"entry-*")
+	if err != nil {
+		return fmt.Errorf("jobs: journaling %q: %w", e.Key, err)
+	}
+	_, werr := tmp.Write(b)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), j.path(e.Key))
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: journaling %q: %w", e.Key, werr)
+	}
+	return nil
+}
+
+// Remove forgets the entry for key (no-op when none exists). Removal is
+// how a job's terminal state becomes durable — a crash between the
+// terminal transition and Remove merely resubmits a job whose result is
+// already in the store, which completes instantly as cached.
+func (j *Journal) Remove(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = os.Remove(j.path(key))
+}
+
+// Len counts the journaled entries (diagnostics and tests).
+func (j *Journal) Len() int {
+	entries, err := j.Entries()
+	if err != nil {
+		return 0
+	}
+	return len(entries)
+}
+
+// Entries returns every decodable journal entry, oldest first (by file
+// modification time), so recovery resubmits in roughly original
+// submission order. Leftover temp files and entries that fail to decode
+// are quarantined and skipped.
+func (j *Journal) Entries() ([]JournalEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	files, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scanning journal: %w", err)
+	}
+	type onDisk struct {
+		name string
+		mod  int64
+	}
+	var found []onDisk
+	for _, f := range files {
+		name := f.Name()
+		if f.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			j.quarantineFile(name, "orphaned temp file from an interrupted write")
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := f.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{name, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, k int) bool { return found[i].mod < found[k].mod })
+	var out []JournalEntry
+	for _, f := range found {
+		b, err := os.ReadFile(filepath.Join(j.dir, f.name))
+		if err != nil {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(b, &e); err != nil || e.Key == "" || e.Kind == "" {
+			j.quarantineFile(f.name, fmt.Sprintf("journal entry failed to decode: %v", err))
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// quarantine an undecodable entry. Callers hold j.mu.
+func (j *Journal) quarantineFile(name, reason string) {
+	if err := quarantine.Move(j.dir, name, reason); err == nil {
+		j.quarantined.Add(1)
+	}
+}
+
+func (j *Journal) path(key string) string { return filepath.Join(j.dir, key+".json") }

@@ -8,9 +8,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/lru"
+	"repro/internal/quarantine"
 	"repro/internal/report"
 )
 
@@ -42,6 +45,10 @@ type Store struct {
 	// idx values are nil for entries known only from the directory scan;
 	// Get loads them lazily.
 	idx *lru.List[string, *report.Result]
+
+	// quarantined counts corrupt files moved aside (never deleted); see
+	// internal/quarantine.
+	quarantined atomic.Int64
 }
 
 // Open returns a Store holding at most capacity results (<= 0 picks
@@ -49,8 +56,8 @@ type Store struct {
 // the directory is created if needed and existing results are indexed in
 // modification-time order (newest = most recently used), with anything
 // beyond capacity evicted oldest-first. Leftover temp files from a
-// crashed writer are removed; files that fail to parse are ignored at
-// read time rather than trusted.
+// crashed writer are quarantined; files that fail to parse are
+// quarantined at read time rather than trusted (or deleted).
 func Open(dir string, capacity int) (*Store, error) {
 	if capacity <= 0 {
 		capacity = DefaultStoreCapacity
@@ -73,14 +80,18 @@ func Open(dir string, capacity int) (*Store, error) {
 	var found []onDisk
 	for _, e := range entries {
 		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
 		if strings.HasPrefix(name, tmpPrefix) {
 			// A writer crashed between create and rename; the torn file was
-			// never published, so it is garbage.
-			_ = os.Remove(filepath.Join(dir, name))
+			// never published, so it cannot be served — but it is evidence
+			// of the crash, so it is preserved in quarantine, not deleted.
+			s.quarantineFile(name, "orphaned temp file from an interrupted write")
 			continue
 		}
 		key, ok := strings.CutSuffix(name, ".json")
-		if !ok || e.IsDir() || key == "" {
+		if !ok || key == "" {
 			continue
 		}
 		info, err := e.Info()
@@ -111,8 +122,10 @@ func (s *Store) Len() int {
 
 // Get returns the result stored under key, loading it from disk if the
 // entry was indexed by Open but not yet read. A hit refreshes the entry's
-// LRU position. A file that no longer parses is dropped from the index
-// and reported as a miss.
+// LRU position. A file that no longer parses is moved to quarantine
+// (with a reason sidecar), dropped from the index and reported as a
+// miss — so one corrupt file degrades that key to a recompute instead of
+// wedging it, and the evidence survives for diagnosis.
 func (s *Store) Get(key string) (*report.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -123,13 +136,51 @@ func (s *Store) Get(key string) (*report.Result, bool) {
 	if e.Value == nil {
 		res, err := s.load(key)
 		if err != nil {
-			s.remove(e, true)
+			if !os.IsNotExist(err) {
+				s.quarantineFile(key+".json", fmt.Sprintf("result failed to decode: %v", err))
+			}
+			s.remove(e, false)
 			return nil, false
 		}
 		e.Value = res
 	}
 	s.idx.MoveToFront(e)
 	return e.Value, true
+}
+
+// Quarantined reports how many corrupt files this store has moved to
+// quarantine since it was opened.
+func (s *Store) Quarantined() int64 { return s.quarantined.Load() }
+
+// quarantineFile moves one corrupt file aside and counts it; a failed
+// move leaves the file in place for the next attempt — never a silent
+// delete.
+func (s *Store) quarantineFile(name, reason string) {
+	if s.dir == "" {
+		return
+	}
+	if err := quarantine.Move(s.dir, name, reason); err == nil {
+		s.quarantined.Add(1)
+	}
+}
+
+// Writable probes the backing directory for write access — the serve
+// layer's readiness check. A memory-only store is always writable.
+func (s *Store) Writable() error {
+	if err := faults.Fire("store.probe"); err != nil {
+		return err
+	}
+	if s.dir == "" {
+		return nil
+	}
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"probe-*")
+	if err != nil {
+		return fmt.Errorf("jobs: store %s not writable: %w", s.dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	_ = os.Remove(name)
+	return nil
 }
 
 // Put stores res under key, evicting the least recently used entries
@@ -163,13 +214,20 @@ func (s *Store) Put(key string, res *report.Result) error {
 }
 
 // persist publishes res as {key}.json with write-to-temp + rename, so
-// readers (including a future process) only ever observe complete files.
+// readers (including a future process) only ever observe complete files
+// — unless the "store.write" fault point is armed, which can fail the
+// write outright or tear it (publish a truncated file, simulating a
+// filesystem that acknowledged a write it never completed).
 func (s *Store) persist(key string, res *report.Result) error {
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return fmt.Errorf("jobs: encoding result %q: %w", key, err)
 	}
 	b = append(b, '\n')
+	b, injErr := faults.FireWrite("store.write", b)
+	if injErr != nil {
+		return fmt.Errorf("jobs: persisting result %q: %w", key, injErr)
+	}
 	tmp, err := os.CreateTemp(s.dir, tmpPrefix+key+"-*")
 	if err != nil {
 		return fmt.Errorf("jobs: persisting result %q: %w", key, err)
@@ -190,6 +248,9 @@ func (s *Store) persist(key string, res *report.Result) error {
 }
 
 func (s *Store) load(key string) (*report.Result, error) {
+	if err := faults.Fire("store.read"); err != nil {
+		return nil, err
+	}
 	b, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return nil, err

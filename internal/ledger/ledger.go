@@ -20,6 +20,12 @@
 // retraining it — the codec round-trips every float by bit pattern and
 // the decoder verifies the content checksum before serving.
 //
+// Corruption degrades, it never destroys: a record that fails to decode
+// (torn write, bit rot) or carries an unparseable name is moved to a
+// quarantine/ subdirectory with a reason sidecar (internal/quarantine),
+// counted via Quarantined, and treated as a cache miss — the replica
+// retrains bit-identically and the evidence survives for diagnosis.
+//
 // A Ledger is safe for concurrent use.
 package ledger
 
@@ -38,7 +44,9 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/lru"
+	"repro/internal/quarantine"
 )
 
 // DefaultCapacity bounds retained replicas when Open is given a
@@ -49,8 +57,8 @@ const DefaultCapacity = 1024
 // fileExt is the on-disk record suffix.
 const fileExt = ".nnr"
 
-// tmpPrefix marks in-progress writes; leftovers from a crashed writer are
-// garbage and removed on Open.
+// tmpPrefix marks in-progress writes; leftovers from a crashed writer
+// were never published and are quarantined on Open.
 const tmpPrefix = ".tmp-"
 
 // entry is one indexed replica. cell is "" and res nil for records known
@@ -71,6 +79,11 @@ type Ledger struct {
 	// trains counts replicas recorded via Put since open; restart tests
 	// use deltas to prove a warm ledger trains only what it has never seen.
 	trains atomic.Int64
+
+	// quarantined counts records moved aside (never deleted) because they
+	// failed to decode or carried an unparseable name — the observable
+	// trace of corruption the ledger degraded around.
+	quarantined atomic.Int64
 }
 
 // Memory returns a memory-only ledger (capacity <= 0 picks
@@ -109,18 +122,25 @@ func Open(dir string, capacity int) (*Ledger, error) {
 	var found []onDisk
 	for _, e := range entries {
 		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
 		if strings.HasPrefix(name, tmpPrefix) {
 			// A writer crashed between create and rename; the torn file was
-			// never published, so it is garbage.
-			_ = os.Remove(filepath.Join(dir, name))
+			// never published, so it cannot be served — but it is evidence
+			// of the crash, so it is preserved in quarantine, not deleted.
+			l.quarantineFile(name, "orphaned temp file from an interrupted write")
 			continue
 		}
 		stem, ok := strings.CutSuffix(name, fileExt)
-		if !ok || e.IsDir() {
+		if !ok {
 			continue
 		}
 		rep, ok := replicaFromStem(stem)
 		if !ok {
+			// A .nnr file whose name does not parse can never be addressed;
+			// move it aside so the corruption is visible and counted.
+			l.quarantineFile(name, "unparseable record name")
 			continue
 		}
 		info, err := e.Info()
@@ -174,11 +194,50 @@ func (l *Ledger) Len() int {
 // ledger was opened.
 func (l *Ledger) Trains() int64 { return l.trains.Load() }
 
+// Quarantined reports how many corrupt records this ledger has moved to
+// quarantine since it was opened (reindex and read-time failures both
+// count). The files themselves sit under Dir()/quarantine with a reason
+// sidecar each.
+func (l *Ledger) Quarantined() int64 { return l.quarantined.Load() }
+
+// quarantineFile moves one corrupt file aside and counts it; a failed
+// move falls back to leaving the file in place (it will be skipped or
+// re-quarantined next time — never silently deleted).
+func (l *Ledger) quarantineFile(name, reason string) {
+	if l.dir == "" {
+		return
+	}
+	if err := quarantine.Move(l.dir, name, reason); err == nil {
+		l.quarantined.Add(1)
+	}
+}
+
+// Writable probes the backing directory for write access — the serve
+// layer's readiness check. A memory-only ledger is always writable.
+func (l *Ledger) Writable() error {
+	if err := faults.Fire("ledger.probe"); err != nil {
+		return err
+	}
+	if l.dir == "" {
+		return nil
+	}
+	f, err := os.CreateTemp(l.dir, tmpPrefix+"probe-*")
+	if err != nil {
+		return fmt.Errorf("ledger: %s not writable: %w", l.dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	_ = os.Remove(name)
+	return nil
+}
+
 // Get returns the replica stored under (cell, index), loading and
 // checksum-verifying it from disk if it was indexed by Open but not yet
 // read. A hit refreshes the record's LRU position. A record that fails
 // to load, or whose stored cell key does not match (digest collision),
-// is dropped from the index and reported as a miss.
+// is dropped from the index and reported as a miss; a corrupt file is
+// moved to quarantine (with a reason sidecar) rather than deleted, so
+// one bad record degrades to a retrain, never to lost evidence.
 func (l *Ledger) Get(cell string, replica int) (*core.RunResult, bool) {
 	key := stem(cell, replica)
 	l.mu.Lock()
@@ -190,7 +249,12 @@ func (l *Ledger) Get(cell string, replica int) (*core.RunResult, bool) {
 	if e.Value.res == nil {
 		gotCell, res, err := l.load(key)
 		if err != nil {
-			l.remove(e, true) // corrupt or vanished: drop the record and file
+			if !os.IsNotExist(err) {
+				// Corrupt (torn write, bit rot, checksum mismatch): keep the
+				// file for diagnosis, drop the index entry, report a miss.
+				l.quarantineFile(key+fileExt, fmt.Sprintf("record failed to decode: %v", err))
+			}
+			l.remove(e, false)
 			return nil, false
 		}
 		e.Value.cell, e.Value.replica, e.Value.res = gotCell, res.Replica, res
@@ -268,8 +332,15 @@ func (l *Ledger) Put(cell string, replica int, res *core.RunResult) error {
 
 // persist publishes an encoded record as {stem}.nnr with write-to-temp +
 // rename, so readers (including a future process) only ever observe
-// complete, checksummed files. Callers hold l.mu.
+// complete, checksummed files — unless the "ledger.write" fault point is
+// armed, which can fail the write outright or tear it (publish a
+// truncated record, simulating a filesystem that acknowledged a write it
+// never completed). Callers hold l.mu.
 func (l *Ledger) persist(key string, record []byte) error {
+	record, injErr := faults.FireWrite("ledger.write", record)
+	if injErr != nil {
+		return fmt.Errorf("ledger: persisting %s: %w", key, injErr)
+	}
 	tmp, err := os.CreateTemp(l.dir, tmpPrefix+key+"-*")
 	if err != nil {
 		return fmt.Errorf("ledger: persisting %s: %w", key, err)
@@ -289,6 +360,9 @@ func (l *Ledger) persist(key string, record []byte) error {
 }
 
 func (l *Ledger) load(key string) (string, *core.RunResult, error) {
+	if err := faults.Fire("ledger.read"); err != nil {
+		return "", nil, err
+	}
 	f, err := os.Open(l.path(key))
 	if err != nil {
 		return "", nil, err

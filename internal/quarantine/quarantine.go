@@ -1,0 +1,90 @@
+// Package quarantine preserves corrupt on-disk records instead of
+// deleting them. A store that finds a file it cannot decode — a torn
+// write published by a lying filesystem, external corruption, an
+// unparseable name — moves it into a quarantine/ subdirectory beside a
+// <name>.reason file explaining why, so the evidence survives for
+// diagnosis while the store itself degrades to a cache miss and
+// recomputes. Nothing in this package ever deletes data.
+//
+// Layout under a store directory:
+//
+//	store/
+//	  good-record.json
+//	  quarantine/
+//	    bad-record.json          ← the corrupt file, moved verbatim
+//	    bad-record.json.reason   ← one line: why it was quarantined
+//
+// Functions are safe for concurrent use on POSIX filesystems: moves are
+// single renames, and a name quarantined twice keeps the latest copy.
+package quarantine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Dir is the subdirectory name quarantined files move into. Directory
+// scans in the stores skip subdirectories, so quarantined records are
+// invisible to reindexing by construction.
+const Dir = "quarantine"
+
+// reasonExt marks the sidecar files carrying quarantine reasons.
+const reasonExt = ".reason"
+
+// Move relocates name (a file directly inside dir) into dir/quarantine/
+// and records reason in a sidecar file. The sidecar write is
+// best-effort: the move is the load-bearing part.
+func Move(dir, name, reason string) error {
+	qdir := filepath.Join(dir, Dir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("quarantine: %w", err)
+	}
+	dst := filepath.Join(qdir, name)
+	if err := os.Rename(filepath.Join(dir, name), dst); err != nil {
+		return fmt.Errorf("quarantine: %w", err)
+	}
+	_ = os.WriteFile(dst+reasonExt, []byte(reason+"\n"), 0o644)
+	return nil
+}
+
+// List returns the quarantined file names under dir (reason sidecars
+// excluded), or an empty slice when nothing has ever been quarantined.
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, Dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("quarantine: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), reasonExt) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// Count reports how many files are quarantined under dir (0 on any
+// scan error — counting is diagnostic, never load-bearing).
+func Count(dir string) int {
+	names, err := List(dir)
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}
+
+// Reason returns the recorded reason for a quarantined name ("" when
+// none was written).
+func Reason(dir, name string) string {
+	b, err := os.ReadFile(filepath.Join(dir, Dir, name+reasonExt))
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}

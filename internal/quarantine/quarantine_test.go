@@ -1,0 +1,73 @@
+package quarantine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMovePreservesFileAndReason(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Move(dir, "bad.json", "decode failure: unexpected EOF"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.json")); !os.IsNotExist(err) {
+		t.Fatalf("original still present (err = %v)", err)
+	}
+	moved, err := os.ReadFile(filepath.Join(dir, Dir, "bad.json"))
+	if err != nil || string(moved) != "{torn" {
+		t.Fatalf("quarantined content = %q, %v", moved, err)
+	}
+	if got := Reason(dir, "bad.json"); got != "decode failure: unexpected EOF" {
+		t.Fatalf("reason = %q", got)
+	}
+	if got := Count(dir); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	names, err := List(dir)
+	if err != nil || len(names) != 1 || names[0] != "bad.json" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+}
+
+func TestMoveMissingFileErrors(t *testing.T) {
+	if err := Move(t.TempDir(), "ghost", "x"); err == nil {
+		t.Fatal("moving a missing file succeeded")
+	}
+}
+
+func TestListEmptyWhenNeverQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	names, err := List(dir)
+	if err != nil || len(names) != 0 {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	if Count(dir) != 0 {
+		t.Fatal("count != 0")
+	}
+	if Reason(dir, "x") != "" {
+		t.Fatal("reason for unknown name not empty")
+	}
+}
+
+func TestRequarantineKeepsLatest(t *testing.T) {
+	dir := t.TempDir()
+	for i, content := range []string{"first", "second"} {
+		if err := os.WriteFile(filepath.Join(dir, "f"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Move(dir, "f", "round"); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	got, err := os.ReadFile(filepath.Join(dir, Dir, "f"))
+	if err != nil || string(got) != "second" {
+		t.Fatalf("kept %q, %v", got, err)
+	}
+	if Count(dir) != 1 {
+		t.Fatalf("count = %d", Count(dir))
+	}
+}

@@ -69,6 +69,14 @@ func (q *Queue) Submit(fn func()) error {
 	}
 }
 
+// Backlog reports how many submitted tasks are waiting for a worker and
+// the backlog capacity — the serve layer's readiness signal (a full
+// backlog means the next Submit would return ErrQueueFull). Channel
+// len/cap are safe without the lock; the numbers are a snapshot.
+func (q *Queue) Backlog() (queued, capacity int) {
+	return len(q.tasks), cap(q.tasks)
+}
+
 // Close stops accepting work, drains the backlog, and waits for every
 // in-flight task to finish. Close is idempotent and safe to call
 // concurrently with Submit.

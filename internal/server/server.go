@@ -12,8 +12,11 @@
 //	GET    /v1/results/{key}        fetch a completed result from the store
 //	POST   /v1/jobs                 submit an asynchronous run; returns a job ID
 //	POST   /v1/grid                 validate, cost-estimate and submit a custom grid spec
+//	GET    /v1/jobs                 list retained jobs (results stripped)
 //	GET    /v1/jobs/{id}            job status, progress, and result when done
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
+//	GET    /v1/healthz              liveness: the process is serving
+//	GET    /v1/readyz               readiness: store/ledger writable, queue has headroom
 //
 // /v1/grid is the composition endpoint: the JSON body declares a grid
 // (tasks × devices × variants, optional recipe overrides and metric
@@ -41,6 +44,15 @@
 // work stops burning the pool — unless an asynchronous submission has
 // also claimed the job, in which case it survives its waiters.
 //
+// Failure model (DESIGN.md §11): with a store directory configured the
+// server also keeps a durable job journal under <store>/journal — one
+// JSON file per non-terminal job, removed when the job settles. Starting
+// with Options.Resume (the `serve -resume` flag) resubmits the journaled
+// work: results that landed before the crash serve as cached, and
+// interrupted grids retrain only the replicas the ledger is missing.
+// Corrupt store/ledger records are quarantined (moved aside with a
+// reason file), never deleted, and reads degrade to a recompute.
+//
 // Concurrency and determinism contract: handlers are safe for arbitrary
 // concurrency; every run derives its randomness from explicit seeds, so
 // a result served from cache or disk is bit-identical to rerunning it.
@@ -54,6 +66,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/device"
@@ -108,6 +123,17 @@ type Options struct {
 	// population cache's RunPlan, which shares populations with the
 	// registered artifacts).
 	RunGrid GridRunFunc
+	// Resume resubmits the journaled (non-terminal at last shutdown) jobs
+	// on startup. It needs StoreDir: the journal lives beside the result
+	// store. Entries that cannot be resolved stay journaled and are
+	// reported by RecoveryError.
+	Resume bool
+	// Retries bounds transient-failure retries per job (0 = the jobs
+	// package default; negative = never retry).
+	Retries int
+	// JobTimeout, when positive, fails any job attempt still running
+	// after this long with a typed "timeout" error.
+	JobTimeout time.Duration
 }
 
 // GridRunFunc executes one compiled grid plan. Tests substitute stubs;
@@ -118,12 +144,19 @@ type GridRunFunc func(ctx context.Context, plan *experiments.Plan, cfg experimen
 type Server struct {
 	engine  *jobs.Engine
 	pops    *experiments.Populations
+	led     *ledger.Ledger // nil when no ledger directory is configured
 	runGrid GridRunFunc
 	mux     *http.ServeMux
+
+	recovered  int
+	recoverErr error
 }
 
 // New returns a Server ready to serve via Handler(). It fails only when
-// a configured store or ledger directory cannot be created or scanned.
+// a configured store, ledger or journal directory cannot be created or
+// scanned — never because of what the directories contain (corrupt
+// records are quarantined, unresolvable journal entries reported via
+// RecoveryError).
 func New(opts Options) (*Server, error) {
 	store, err := jobs.Open(opts.StoreDir, opts.CacheSize)
 	if err != nil {
@@ -133,12 +166,23 @@ func New(opts Options) (*Server, error) {
 	if pops == nil {
 		pops = experiments.DefaultPopulations()
 	}
+	var led *ledger.Ledger
 	if opts.LedgerDir != "" {
-		led, err := ledger.Open(opts.LedgerDir, opts.LedgerCapacity)
+		led, err = ledger.Open(opts.LedgerDir, opts.LedgerCapacity)
 		if err != nil {
 			return nil, err
 		}
 		pops.SetLedger(led)
+	}
+	// The journal rides along with the result store: both exist to make a
+	// restart indistinguishable from a pause. A memory-only server has
+	// nothing to resume into, so it gets no journal.
+	var journal *jobs.Journal
+	if opts.StoreDir != "" {
+		journal, err = jobs.OpenJournal(filepath.Join(opts.StoreDir, "journal"))
+		if err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		engine: jobs.NewEngine(jobs.Options{
@@ -146,14 +190,21 @@ func New(opts Options) (*Server, error) {
 			QueueDepth: opts.QueueDepth,
 			Store:      store,
 			Run:        opts.Run,
+			Journal:    journal,
+			Retries:    opts.Retries,
+			JobTimeout: opts.JobTimeout,
 		}),
 		pops:    pops,
+		led:     led,
 		runGrid: opts.RunGrid,
 	}
 	if s.runGrid == nil {
 		s.runGrid = func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
 			return pops.RunPlan(ctx, plan, cfg)
 		}
+	}
+	if opts.Resume && journal != nil {
+		s.recovered, s.recoverErr = s.engine.Recover(s.resolveTask)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
@@ -163,8 +214,11 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux = mux
 	return s, nil
 }
@@ -174,7 +228,50 @@ func New(opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close cancels live jobs and waits for the engine's workers to drain.
+// Shutdown cancellations keep their journal entries, so a later
+// `serve -resume` picks the interrupted work back up.
 func (s *Server) Close() { s.engine.Close() }
+
+// Drain begins graceful shutdown: readiness flips to 503, new
+// submissions are refused, and the call blocks until in-flight jobs
+// finish or ctx expires (whatever is still running then is cancelled
+// with its journal entry preserved). Follow with Close.
+func (s *Server) Drain(ctx context.Context) error { return s.engine.Drain(ctx) }
+
+// Recovered reports how many journaled jobs the Resume option
+// resubmitted at startup.
+func (s *Server) Recovered() int { return s.recovered }
+
+// RecoveryError reports the journal entries Resume could not resubmit
+// (nil when recovery was clean or not requested). Those entries stay
+// journaled.
+func (s *Server) RecoveryError() error { return s.recoverErr }
+
+// resolveTask is the engine's recovery resolver: a journaled task entry
+// carries the canonical grid spec as its payload, which recompiles into
+// the same plan — and therefore the same result key — it had before the
+// crash.
+func (s *Server) resolveTask(entry jobs.JournalEntry) (func(context.Context) (*report.Result, error), error) {
+	if len(entry.Payload) == 0 {
+		return nil, fmt.Errorf("no grid spec payload")
+	}
+	var spec grid.Spec
+	if err := json.Unmarshal(entry.Payload, &spec); err != nil {
+		return nil, fmt.Errorf("decoding grid spec payload: %w", err)
+	}
+	plan, err := experiments.CompileSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := entry.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg = plan.Config(cfg)
+	return func(ctx context.Context) (*report.Result, error) {
+		return s.runGrid(ctx, plan, cfg)
+	}, nil
+}
 
 // RunRequest is the POST /v1/experiments/{id}/run body. Every field is
 // optional; zero values pick the CLI defaults (quick scale, scale-default
@@ -293,7 +390,11 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	// this submission pays, and a fast job could start landing replicas in
 	// the ledger before the response is assembled.
 	est := s.pops.Estimate(plan, cfg)
-	job, err := s.engine.SubmitTask(plan.ID(), key, cfg, func(ctx context.Context) (*report.Result, error) {
+	// The canonical spec is the job's durable payload: if the process dies
+	// mid-grid, `serve -resume` recompiles it (resolveTask) and resubmits
+	// under the same key.
+	payload, _ := json.Marshal(plan.Spec)
+	job, err := s.engine.SubmitTask(plan.ID(), key, cfg, payload, func(ctx context.Context) (*report.Result, error) {
 		return s.runGrid(ctx, plan, cfg)
 	})
 	if err != nil {
@@ -399,6 +500,86 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, snap)
+}
+
+// JobsResponse is the GET /v1/jobs reply: every retained job's snapshot
+// in submission order, results stripped (fetch one job or its result
+// key for the payload — the listing stays cheap no matter how large the
+// retained results are).
+type JobsResponse struct {
+	Jobs []jobs.Snapshot `json:"jobs"`
+}
+
+// handleJobList is GET /v1/jobs: the retained jobs, live first-class —
+// recovery tooling uses it to find resubmitted jobs after a restart.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	list := s.engine.Jobs()
+	out := make([]jobs.Snapshot, 0, len(list))
+	for _, j := range list {
+		snap := j.Snapshot()
+		snap.Result = nil
+		out = append(out, snap)
+	}
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: out})
+}
+
+// HealthResponse is the GET /v1/healthz reply.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz is GET /v1/healthz: pure liveness. If this handler runs
+// at all, the process is up — degradation belongs to readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// ReadyResponse is the GET /v1/readyz reply: overall readiness plus the
+// per-check verdicts ("ok" or the failure), so an operator reading a 503
+// sees which dependency degraded.
+type ReadyResponse struct {
+	Ready  bool              `json:"ready"`
+	Checks map[string]string `json:"checks"`
+}
+
+// handleReadyz is GET /v1/readyz: ready means this server can accept and
+// durably complete new work — the result store and replica ledger accept
+// writes, the job queue has headroom, and the server is not draining.
+// Any failed check turns the reply into a 503 while the process keeps
+// serving reads (that is the graceful part of the degradation).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := map[string]string{}
+	ok := func(name string, err error) {
+		if err != nil {
+			checks[name] = err.Error()
+		} else {
+			checks[name] = "ok"
+		}
+	}
+	ok("store", s.engine.Store().Writable())
+	if s.led != nil {
+		ok("ledger", s.led.Writable())
+	}
+	queued, capacity := s.engine.QueueBacklog()
+	if queued >= capacity {
+		checks["queue"] = fmt.Sprintf("backlog full (%d/%d)", queued, capacity)
+	} else {
+		checks["queue"] = fmt.Sprintf("ok (%d/%d)", queued, capacity)
+	}
+	if s.engine.Draining() {
+		checks["draining"] = "server is draining"
+	}
+	resp := ReadyResponse{Ready: true, Checks: checks}
+	for _, v := range checks {
+		if v != "ok" && !strings.HasPrefix(v, "ok ") {
+			resp.Ready = false
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 // handleJobStatus is GET /v1/jobs/{id}: the job's snapshot, including

@@ -12,7 +12,8 @@
 //	nnrand workloads
 //	nnrand grid   [-spec FILE | -tasks T,... -devices D,...] [flags]
 //	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-ledger DIR] [-jobs N] [-queue N]
-//	              [-resume] [-retries N] [-job-timeout DUR] [-drain DUR]
+//	              [-resume] [-retries N] [-job-timeout DUR] [-drain DUR] [-fleet] [-lease-ttl DUR]
+//	nnrand worker [-join URL] [-workers N] [-name NAME] [-batch N]
 //	nnrand ledger -dir DIR list
 //	nnrand ledger -dir DIR gc -keep N
 //	nnrand submit [-addr URL] [-scale S] [-replicas N] [-seed N] <experiment>...
@@ -42,6 +43,12 @@
 // restarted server trains only replicas it has never seen (grid and
 // serve share the flag: `nnrand grid -ledger DIR` warm-starts local runs
 // from the same directory, and -estimate then reports the cache credit).
+// With -fleet the server trains nothing itself: replica work is leased
+// to `nnrand worker` processes that join over HTTP, train units with the
+// same deterministic code, and upload CRC-verified results — capacity
+// scales with worker count and results stay bit-identical to single-node
+// runs. `worker` joins a fleet coordinator and runs the pull → train →
+// upload loop until interrupted.
 // `ledger` inspects a replica ledger directory: `list` tables its
 // records, `gc -keep N` evicts the least recently used beyond N.
 // `submit`, `status`, `wait` and `cancel` are thin clients of a running
@@ -68,6 +75,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/ledger"
@@ -140,6 +148,8 @@ func run(args []string) error {
 	switch ids[0] {
 	case "serve":
 		return serveCmd(subArgs)
+	case "worker":
+		return workerCmd(subArgs)
 	case "grid":
 		return gridCmd(subArgs)
 	case "ledger":
@@ -442,7 +452,7 @@ func splitList(s string) []string {
 // sub-command that owns the rest of the argument list.
 func isSubcommand(name string) bool {
 	switch name {
-	case "serve", "grid", "ledger", "submit", "status", "wait", "cancel":
+	case "serve", "worker", "grid", "ledger", "submit", "status", "wait", "cancel":
 		return true
 	}
 	return false
@@ -466,11 +476,16 @@ func serveCmd(args []string) error {
 	retries := fs.Int("retries", 0, "transient-failure retries per job (0 = default, negative = never)")
 	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock watchdog per job attempt (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+	fleetMode := fs.Bool("fleet", false, "coordinate a worker fleet: replica training is leased to `nnrand worker` processes instead of running in-process")
+	leaseTTL := fs.Duration("lease-ttl", 0, "fleet lease time-to-live (0 = fleet default); expired leases are stolen by surviving workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *store == "" {
 		return fmt.Errorf("serve: -resume needs -store (the job journal lives beside the result store)")
+	}
+	if *leaseTTL != 0 && !*fleetMode {
+		return fmt.Errorf("serve: -lease-ttl needs -fleet")
 	}
 	svc, err := server.New(server.Options{
 		CacheSize:      *cache,
@@ -482,6 +497,8 @@ func serveCmd(args []string) error {
 		Resume:         *resume,
 		Retries:        *retries,
 		JobTimeout:     *jobTimeout,
+		Fleet:          *fleetMode,
+		LeaseTTL:       *leaseTTL,
 	})
 	if err != nil {
 		return err
@@ -499,6 +516,9 @@ func serveCmd(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "nnrand: serving on %s\n", *addr)
+	if f := svc.Fleet(); f != nil {
+		fmt.Fprintf(os.Stderr, "nnrand: fleet mode: waiting for `nnrand worker -join` processes (lease TTL %s)\n", f.TTL())
+	}
 	select {
 	case err := <-errCh:
 		return err
@@ -513,6 +533,50 @@ func serveCmd(args []string) error {
 		defer cancel2()
 		return srv.Shutdown(shutdownCtx)
 	}
+}
+
+// workerCmd joins a fleet coordinator and trains leased work units until
+// interrupted. The worker is stateless: everything it needs arrives in
+// the lease, every result leaves as a CRC-protected upload, and a
+// SIGKILL at any point merely lets its leases expire so the rest of the
+// fleet steals the work.
+func workerCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand worker", flag.ContinueOnError)
+	join := fs.String("join", "http://localhost:8080", "coordinator base URL (a `nnrand serve -fleet` server)")
+	trainers := fs.Int("workers", 0, "concurrent training loops (0 = GOMAXPROCS via the sched default, capped at 4)")
+	name := fs.String("name", "", "worker name reported to the coordinator (default <hostname>-<pid>)")
+	batch := fs.Int("batch", 1, "work units to lease per pull")
+	quiet := fs.Bool("quiet", false, "suppress per-unit progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("worker: unexpected argument %q", fs.Arg(0))
+	}
+	n := *trainers
+	if n <= 0 {
+		if n = sched.Workers(); n > 4 {
+			// Trainers multiply: each unit trains on this process anyway, so
+			// a huge default would just thrash one box. Scale out with more
+			// worker processes instead.
+			n = 4
+		}
+	}
+	w := &fleet.Worker{Base: *join, Name: *name, Trainers: n, Batch: *batch}
+	if !*quiet {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "nnrand: worker: "+format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "nnrand: worker joining %s with %d trainer(s)\n", *join, n)
+	err := w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "nnrand: worker done: trained %d replica(s)\n", w.Trains())
+	if err == context.Canceled {
+		return nil
+	}
+	return err
 }
 
 // ledgerCmd inspects and garbage-collects a replica ledger directory:

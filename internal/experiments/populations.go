@@ -63,6 +63,7 @@ const DefaultDatasetCapacity = 8
 type Populations struct {
 	mu      sync.Mutex
 	led     *ledger.Ledger
+	exec    Executor
 	flights map[string]*repFlight
 
 	dsMu  sync.Mutex
@@ -247,7 +248,7 @@ func (p *Populations) population(ctx context.Context, tr *tracker, cfg Config, t
 	}
 	_, err := sched.Map(ctx, len(misses), func(k int) (struct{}, error) {
 		i := misses[k]
-		res, err := p.replica(ctx, cell, t, dev, tc, v, i)
+		res, err := p.replica(ctx, cell, cfg, t, dev, tc, v, i)
 		if err != nil {
 			return struct{}{}, err
 		}
@@ -264,9 +265,9 @@ func (p *Populations) population(ctx context.Context, tr *tracker, cfg Config, t
 // replica resolves one (cell, index) with owner-cancellation retry: a
 // waiter that inherited a cancelled owner's error re-flights as long as
 // its own context is live.
-func (p *Populations) replica(ctx context.Context, cell string, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
+func (p *Populations) replica(ctx context.Context, cell string, cfg Config, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
 	for {
-		res, err := p.replicaFlight(ctx, cell, t, dev, tc, v, i)
+		res, err := p.replicaFlight(ctx, cell, cfg, t, dev, tc, v, i)
 		if err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The owner of the flight we waited on was cancelled; our
@@ -277,7 +278,7 @@ func (p *Populations) replica(ctx context.Context, cell string, t taskSpec, dev 
 	}
 }
 
-func (p *Populations) replicaFlight(ctx context.Context, cell string, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
+func (p *Populations) replicaFlight(ctx context.Context, cell string, cfg Config, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
 	key := fmt.Sprintf("%s#%d", cell, i)
 	p.mu.Lock()
 	led := p.led
@@ -319,7 +320,7 @@ func (p *Populations) replicaFlight(ctx context.Context, cell string, t taskSpec
 		}
 	}()
 	p.trains.Add(1)
-	res, err := core.RunReplica(ctx, tc, v, i)
+	res, err := p.trainMiss(ctx, cfg, t, dev, tc, v, i)
 	if err != nil {
 		e.err = fmt.Errorf("experiments: %s on %s under %s: %w", t.name, dev.Name, v, err)
 	} else {
@@ -332,6 +333,21 @@ func (p *Populations) replicaFlight(ctx context.Context, cell string, t taskSpec
 	p.dropFlight(key, e)
 	close(e.done)
 	return e.res, e.err
+}
+
+// trainMiss runs one replica miss: through the installed executor when
+// one is configured (as a self-contained WorkUnit), in process on the
+// calling sched slot otherwise. The nil-executor path is exactly the
+// pre-fleet code, so single-process behaviour is byte-identical to a
+// build without executors.
+func (p *Populations) trainMiss(ctx context.Context, cfg Config, t taskSpec, dev device.Config, tc core.TrainConfig, v core.Variant, i int) (*core.RunResult, error) {
+	p.mu.Lock()
+	x := p.exec
+	p.mu.Unlock()
+	if x == nil {
+		return core.RunReplica(ctx, tc, v, i)
+	}
+	return x.Train(ctx, t.workUnit(cfg, dev, v, i))
 }
 
 // dropFlight retires a finished flight (guarded against racing Reset).

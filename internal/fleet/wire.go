@@ -1,0 +1,50 @@
+package fleet
+
+// Wire types for the fleet work endpoints (docs/api.md #13–#15). The
+// worker and the server's handlers share these definitions so the
+// protocol cannot skew between the two halves.
+
+// LeaseRequest is the POST /v1/work/lease body: worker identity, batch
+// size, how long the server may hold the request open when the queue is
+// empty, and the worker's cumulative self-reported replica-train count
+// (surfaces in /v1/stats; the fleet-wide sum proves zero duplicate
+// trains).
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max,omitempty"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+	Trains int64  `json:"trains,omitempty"`
+}
+
+// LeaseResponse carries the leased units (possibly none, after an empty
+// long-poll) and the TTL the worker must heartbeat within.
+type LeaseResponse struct {
+	Units []Leased `json:"units"`
+	TTLMS int64    `json:"ttl_ms"`
+}
+
+// HeartbeatRequest is the POST /v1/work/{id}/heartbeat body.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Trains int64  `json:"trains,omitempty"`
+}
+
+// HeartbeatResponse reports the unit's fate: HeartbeatOK, HeartbeatGone
+// or HeartbeatDone.
+type HeartbeatResponse struct {
+	Status string `json:"status"`
+}
+
+// CompleteResponse is the POST /v1/work/{id}/complete reply:
+// CompleteMerged, CompleteDuplicate or CompleteStale.
+type CompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// FailRequest is the JSON form of the complete endpoint: a worker that
+// cannot execute a unit at all (its catalogs refuse to resolve it)
+// reports the permanent failure instead of a result.
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Error  string `json:"error"`
+}

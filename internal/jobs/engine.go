@@ -635,6 +635,15 @@ func (e *Engine) runAttempt(j *Job, ctx context.Context) (res *report.Result, er
 	return j.runFn(experiments.WithProgress(actx, j.setProgress))
 }
 
+// SleepBackoff waits out the attempt'th retry delay under the engine's
+// retry policy: base doubled per attempt, capped at 5s, with ±25% jitter
+// so retry storms decorrelate. It returns false if ctx ended first. The
+// fleet worker reuses this for its reconnect and re-upload loops so
+// every retrying client in the system backs off the same way.
+func SleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	return sleepBackoff(ctx, base, attempt)
+}
+
 // sleepBackoff waits out the attempt'th retry delay: base doubled per
 // attempt, capped, with ±25% jitter so retry storms decorrelate. It
 // returns false if ctx ended first.

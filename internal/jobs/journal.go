@@ -214,6 +214,24 @@ func (j *Journal) Entries() ([]JournalEntry, error) {
 	return out, nil
 }
 
+// Writable probes the journal directory for write access — the serve
+// layer's readiness check (a journal that cannot record makes every
+// detached submit fail, so readiness must surface it). The
+// "journal.probe" fault point can force a failure.
+func (j *Journal) Writable() error {
+	if err := faults.Fire("journal.probe"); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(j.dir, tmpPrefix+"probe-*")
+	if err != nil {
+		return fmt.Errorf("jobs: journal %s not writable: %w", j.dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	_ = os.Remove(name)
+	return nil
+}
+
 // quarantine an undecodable entry. Callers hold j.mu.
 func (j *Journal) quarantineFile(name, reason string) {
 	if err := quarantine.Move(j.dir, name, reason); err == nil {

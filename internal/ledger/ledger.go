@@ -84,6 +84,12 @@ type Ledger struct {
 	// failed to decode or carried an unparseable name — the observable
 	// trace of corruption the ledger degraded around.
 	quarantined atomic.Int64
+
+	// hits and misses count Get outcomes since open (a record that fails
+	// to load or collides counts as a miss — the caller retrains either
+	// way). The stats endpoint exposes them so operators can see how much
+	// of a workload the ledger is absorbing.
+	hits, misses atomic.Int64
 }
 
 // Memory returns a memory-only ledger (capacity <= 0 picks
@@ -244,6 +250,7 @@ func (l *Ledger) Get(cell string, replica int) (*core.RunResult, bool) {
 	defer l.mu.Unlock()
 	e, ok := l.idx.Get(key)
 	if !ok {
+		l.misses.Add(1)
 		return nil, false
 	}
 	if e.Value.res == nil {
@@ -255,16 +262,28 @@ func (l *Ledger) Get(cell string, replica int) (*core.RunResult, bool) {
 				l.quarantineFile(key+fileExt, fmt.Sprintf("record failed to decode: %v", err))
 			}
 			l.remove(e, false)
+			l.misses.Add(1)
 			return nil, false
 		}
 		e.Value.cell, e.Value.replica, e.Value.res = gotCell, res.Replica, res
 	}
 	if e.Value.cell != cell || e.Value.replica != replica {
+		l.misses.Add(1)
 		return nil, false // digest collision: the record belongs to another cell
 	}
 	l.idx.MoveToFront(e)
+	l.hits.Add(1)
 	return e.Value.res, true
 }
+
+// Hits reports how many Get calls were served from the ledger since it
+// was opened.
+func (l *Ledger) Hits() int64 { return l.hits.Load() }
+
+// Misses reports how many Get calls found nothing servable (absent,
+// unloadable, or colliding records all count) since the ledger was
+// opened.
+func (l *Ledger) Misses() int64 { return l.misses.Load() }
 
 // Has reports whether (cell, index) is indexed, without loading it or
 // refreshing its recency — the estimate path's peek.

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fleet"
+	"repro/internal/jobs"
+)
+
+// This file is the HTTP face of fleet mode plus the stats endpoint: the
+// three work endpoints translate the wire protocol onto the
+// coordinator's lease state machine, and /v1/stats aggregates the
+// counters every layer already keeps (queue, jobs, ledger, populations,
+// fleet) into one operator snapshot.
+
+// maxUploadBytes bounds a complete-upload body. A full-scale replica
+// record (weights + predictions + loss curve) is single-digit MBs;
+// 64 MiB refuses runaway uploads with room to spare.
+const maxUploadBytes = 64 << 20
+
+// StatsResponse is the GET /v1/stats reply.
+type StatsResponse struct {
+	// Queue is the submission backlog against its capacity.
+	Queue QueueStats `json:"queue"`
+	// Jobs counts retained jobs by state (all states present, zeros
+	// included, so dashboards get a stable shape).
+	Jobs map[string]int `json:"jobs"`
+	// Ledger reports the replica ledger's size and traffic counters.
+	Ledger LedgerStats `json:"ledger"`
+	// Store is the completed-result store.
+	Store StoreStats `json:"store"`
+	// Populations reports replicas actually trained by this process's
+	// population cache since start (ledger hits excluded).
+	Populations PopulationStats `json:"populations"`
+	// Fleet is the coordinator's lease/worker state; absent unless the
+	// server runs in fleet mode.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
+}
+
+// QueueStats is the job-queue slice of StatsResponse.
+type QueueStats struct {
+	Backlog  int `json:"backlog"`
+	Capacity int `json:"capacity"`
+}
+
+// LedgerStats is the replica-ledger slice of StatsResponse.
+type LedgerStats struct {
+	Replicas    int   `json:"replicas"`
+	Trains      int64 `json:"replica_trains"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+// StoreStats is the result-store slice of StatsResponse.
+type StoreStats struct {
+	Results int `json:"results"`
+}
+
+// PopulationStats is the population-cache slice of StatsResponse.
+type PopulationStats struct {
+	ReplicaTrains int64 `json:"replica_trains"`
+}
+
+// handleStats is GET /v1/stats: one cheap snapshot of every layer's
+// counters (ROADMAP item 5's first slice). All values are monotone
+// counters or instantaneous gauges; nothing here blocks on training.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, capacity := s.engine.QueueBacklog()
+	byState := map[string]int{
+		string(jobs.StateQueued):    0,
+		string(jobs.StateRunning):   0,
+		string(jobs.StateDone):      0,
+		string(jobs.StateFailed):    0,
+		string(jobs.StateCancelled): 0,
+	}
+	for _, j := range s.engine.Jobs() {
+		byState[string(j.Snapshot().State)]++
+	}
+	led := s.pops.Ledger()
+	resp := StatsResponse{
+		Queue: QueueStats{Backlog: queued, Capacity: capacity},
+		Jobs:  byState,
+		Ledger: LedgerStats{
+			Replicas:    led.Len(),
+			Trains:      led.Trains(),
+			Hits:        led.Hits(),
+			Misses:      led.Misses(),
+			Quarantined: led.Quarantined(),
+		},
+		Store:       StoreStats{Results: s.engine.Store().Len()},
+		Populations: PopulationStats{ReplicaTrains: s.pops.Trains()},
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		resp.Fleet = &fs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWorkLease is POST /v1/work/lease: hand the calling worker a
+// batch of pending units under a TTL lease, long-polling an empty queue
+// up to the requested (server-capped) wait.
+func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
+	var req fleet.LeaseRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing required field \"worker\""})
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	units, ttl := s.fleet.Lease(r.Context(), req.Worker, req.Max, wait, req.Trains)
+	writeJSON(w, http.StatusOK, fleet.LeaseResponse{Units: units, TTLMS: ttl.Milliseconds()})
+}
+
+// handleWorkHeartbeat is POST /v1/work/{id}/heartbeat: extend the
+// caller's lease and report the unit's fate ("ok", "gone", "done").
+func (s *Server) handleWorkHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req fleet.HeartbeatRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing required field \"worker\""})
+		return
+	}
+	status := s.fleet.Heartbeat(req.Worker, id, req.Trains)
+	writeJSON(w, http.StatusOK, fleet.HeartbeatResponse{Status: status})
+}
+
+// handleWorkComplete is POST /v1/work/{id}/complete. The normal form is
+// a checkpoint-codec record (Content-Type: application/octet-stream,
+// ?worker= names the uploader): it is CRC-verified and checked against
+// the unit's (cell, replica) before the result is delivered to the
+// population flight that owns it — a body failing either check is
+// preserved in quarantine and refused with 400, leaving the lease
+// standing so the worker retries. The JSON form ({"worker", "error"})
+// reports a permanent worker-side failure instead. Duplicate and stale
+// completions are acknowledged with 200 and dropped.
+func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.Header.Get("Content-Type") == "application/json" {
+		var req fleet.FailRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if req.Worker == "" || req.Error == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "failure report needs \"worker\" and \"error\""})
+			return
+		}
+		status := s.fleet.FailUnit(req.Worker, id, req.Error)
+		writeJSON(w, http.StatusOK, fleet.CompleteResponse{Status: status})
+		return
+	}
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing ?worker= query parameter"})
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("reading upload: %v", err)})
+		return
+	}
+	if len(raw) > maxUploadBytes {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("upload exceeds %d bytes", maxUploadBytes)})
+		return
+	}
+	cell, res, decErr := checkpoint.DecodeResult(bytes.NewReader(raw))
+	status, err := s.fleet.CompleteUpload(worker, id, cell, res, decErr, raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, fleet.CompleteResponse{Status: status})
+}

@@ -16,7 +16,19 @@
 //	GET    /v1/jobs/{id}            job status, progress, and result when done
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
 //	GET    /v1/healthz              liveness: the process is serving
-//	GET    /v1/readyz               readiness: store/ledger writable, queue has headroom
+//	GET    /v1/readyz               readiness: store/ledger/journal writable, queue has headroom
+//	GET    /v1/stats                queue, job, ledger, population and fleet counters
+//	POST   /v1/work/lease           (fleet mode) worker pulls work units under a TTL lease
+//	POST   /v1/work/{id}/heartbeat  (fleet mode) worker extends its lease
+//	POST   /v1/work/{id}/complete   (fleet mode) worker uploads a trained replica
+//
+// With Options.Fleet the server becomes a distributed-training
+// coordinator (internal/fleet): replica misses are no longer trained in
+// process but queued as work units that `nnrand worker -join` processes
+// lease, train and upload. Results remain bit-identical to single-node
+// runs — the workers execute the same deterministic training on the
+// same resolved units, and every result merges through the same keyed
+// ledger write.
 //
 // /v1/grid is the composition endpoint: the JSON body declares a grid
 // (tasks × devices × variants, optional recipe overrides and metric
@@ -73,6 +85,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/ledger"
@@ -134,6 +147,16 @@ type Options struct {
 	// JobTimeout, when positive, fails any job attempt still running
 	// after this long with a typed "timeout" error.
 	JobTimeout time.Duration
+	// Fleet turns the server into a distributed-training coordinator:
+	// replica misses queue as fleet work units served over the
+	// /v1/work/* endpoints instead of training in process, so capacity
+	// scales with joined `nnrand worker` processes. Grids submitted to a
+	// fleet server with no workers joined wait until one joins.
+	Fleet bool
+	// LeaseTTL is the fleet lease time-to-live (0 picks the fleet
+	// default). Shorter TTLs steal abandoned units faster at the cost of
+	// more heartbeat traffic.
+	LeaseTTL time.Duration
 }
 
 // GridRunFunc executes one compiled grid plan. Tests substitute stubs;
@@ -144,7 +167,8 @@ type GridRunFunc func(ctx context.Context, plan *experiments.Plan, cfg experimen
 type Server struct {
 	engine  *jobs.Engine
 	pops    *experiments.Populations
-	led     *ledger.Ledger // nil when no ledger directory is configured
+	led     *ledger.Ledger     // nil when no ledger directory is configured
+	fleet   *fleet.Coordinator // nil when Options.Fleet is off
 	runGrid GridRunFunc
 	mux     *http.ServeMux
 
@@ -203,6 +227,17 @@ func New(opts Options) (*Server, error) {
 			return pops.RunPlan(ctx, plan, cfg)
 		}
 	}
+	if opts.Fleet {
+		// Rejected uploads are preserved beside the ledger when one is
+		// configured, so a torn record survives for diagnosis like any
+		// other quarantined evidence.
+		var fdir string
+		if opts.LedgerDir != "" {
+			fdir = filepath.Join(opts.LedgerDir, "fleet")
+		}
+		s.fleet = fleet.New(fleet.Options{TTL: opts.LeaseTTL, Dir: fdir})
+		pops.SetExecutor(s.fleet)
+	}
 	if opts.Resume && journal != nil {
 		s.recovered, s.recoverErr = s.engine.Recover(s.resolveTask)
 	}
@@ -219,9 +254,19 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.fleet != nil {
+		mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
+		mux.HandleFunc("POST /v1/work/{id}/heartbeat", s.handleWorkHeartbeat)
+		mux.HandleFunc("POST /v1/work/{id}/complete", s.handleWorkComplete)
+	}
 	s.mux = mux
 	return s, nil
 }
+
+// Fleet exposes the coordinator when fleet mode is on (nil otherwise) —
+// diagnostics and tests.
+func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
 
 // Handler returns the service's HTTP handler for embedding under any
 // listener, router prefix or test server.
@@ -559,6 +604,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	ok("store", s.engine.Store().Writable())
 	if s.led != nil {
 		ok("ledger", s.led.Writable())
+	}
+	if j := s.engine.Journal(); j != nil {
+		// A journal that cannot record silently downgrades every
+		// submission from crash-safe to best-effort — readiness must
+		// surface it, not let the next crash discover it.
+		ok("journal", j.Writable())
 	}
 	queued, capacity := s.engine.QueueBacklog()
 	if queued >= capacity {

@@ -13,7 +13,10 @@
 //	nnrand grid   [-spec FILE | -tasks T,... -devices D,...] [flags]
 //	nnrand serve  [-addr :8080] [-cache N] [-store DIR] [-ledger DIR] [-jobs N] [-queue N]
 //	              [-resume] [-retries N] [-job-timeout DUR] [-drain DUR] [-fleet] [-lease-ttl DUR]
+//	              [-max-train-epochs N] [-rate N] [-burst N] [-request-log FILE]
 //	nnrand worker [-join URL] [-workers N] [-name NAME] [-batch N]
+//	nnrand loadtest [-addr URL] [-clients 1,4,16] [-duration DUR | -requests N]
+//	              [-mix G:J:R] [-seed N] [-spec FILE] [-out FILE]
 //	nnrand ledger -dir DIR list
 //	nnrand ledger -dir DIR gc -keep N
 //	nnrand submit [-addr URL] [-scale S] [-replicas N] [-seed N] <experiment>...
@@ -49,6 +52,14 @@
 // scales with worker count and results stay bit-identical to single-node
 // runs. `worker` joins a fleet coordinator and runs the pull → train →
 // upload loop until interrupted.
+// `serve` also prices and polices admission: -max-train-epochs rejects
+// submissions whose estimated fresh training exceeds the budget (HTTP
+// 429 with the estimate echoed), -rate/-burst token-buckets each client,
+// and -request-log streams one JSON line per request; GET /v1/metrics
+// exposes per-route counters and latency quantiles. `loadtest` replays a
+// seeded grid/job/result workload against a running server at several
+// concurrency levels and writes the BENCH_server.json benchmark report
+// (see internal/loadtest).
 // `ledger` inspects a replica ledger directory: `list` tables its
 // records, `gc -keep N` evicts the least recently used beyond N.
 // `submit`, `status`, `wait` and `cancel` are thin clients of a running
@@ -79,6 +90,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/ledger"
+	"repro/internal/loadtest"
 	"repro/internal/quarantine"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -162,6 +174,8 @@ func run(args []string) error {
 		return waitCmd(subArgs)
 	case "cancel":
 		return cancelCmd(subArgs)
+	case "loadtest":
+		return loadtestCmd(subArgs)
 	}
 	if len(ids) == 1 && ids[0] == "list" {
 		return list(os.Stdout)
@@ -452,7 +466,7 @@ func splitList(s string) []string {
 // sub-command that owns the rest of the argument list.
 func isSubcommand(name string) bool {
 	switch name {
-	case "serve", "worker", "grid", "ledger", "submit", "status", "wait", "cancel":
+	case "serve", "worker", "grid", "ledger", "submit", "status", "wait", "cancel", "loadtest":
 		return true
 	}
 	return false
@@ -478,6 +492,10 @@ func serveCmd(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
 	fleetMode := fs.Bool("fleet", false, "coordinate a worker fleet: replica training is leased to `nnrand worker` processes instead of running in-process")
 	leaseTTL := fs.Duration("lease-ttl", 0, "fleet lease time-to-live (0 = fleet default); expired leases are stolen by surviving workers")
+	maxTrainEpochs := fs.Int("max-train-epochs", 0, "reject submissions whose estimated fresh training exceeds this many epochs (0 = unlimited)")
+	rate := fs.Float64("rate", 0, "per-client request rate limit in requests/second (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client rate-limit burst size (0 = 2x rate)")
+	requestLog := fs.String("request-log", "", "append one JSON line per request to FILE ('-' = stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -486,6 +504,19 @@ func serveCmd(args []string) error {
 	}
 	if *leaseTTL != 0 && !*fleetMode {
 		return fmt.Errorf("serve: -lease-ttl needs -fleet")
+	}
+	var logW io.Writer
+	switch *requestLog {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*requestLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: -request-log: %w", err)
+		}
+		defer f.Close()
+		logW = f
 	}
 	svc, err := server.New(server.Options{
 		CacheSize:      *cache,
@@ -499,6 +530,10 @@ func serveCmd(args []string) error {
 		JobTimeout:     *jobTimeout,
 		Fleet:          *fleetMode,
 		LeaseTTL:       *leaseTTL,
+		MaxTrainEpochs: *maxTrainEpochs,
+		Rate:           *rate,
+		Burst:          *burst,
+		RequestLog:     logW,
 	})
 	if err != nil {
 		return err
@@ -533,6 +568,101 @@ func serveCmd(args []string) error {
 		defer cancel2()
 		return srv.Shutdown(shutdownCtx)
 	}
+}
+
+// loadtestCmd benchmarks a running server: warm up the canned grid,
+// then replay a seeded grid/job/result mix at each concurrency level
+// and write the typed BENCH_server.json report.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("nnrand loadtest", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	clients := fs.String("clients", "1,4,16", "comma-separated concurrency levels")
+	duration := fs.Duration("duration", 5*time.Second, "measurement window per level (ignored with -requests)")
+	requests := fs.Int("requests", 0, "exact requests per client per level (deterministic mode; overrides -duration)")
+	mixFlag := fs.String("mix", "4:2:4", "operation weights grid:job:result")
+	seed := fs.Uint64("seed", 20220622, "generator seed (also the submission seed)")
+	specFile := fs.String("spec", "", "JSON grid spec file ('-' = stdin; default: the canned 2-cell test grid)")
+	scaleFlag := fs.String("scale", "test", "workload scale of the replayed submissions")
+	replicas := fs.Int("replicas", 1, "replicas per variant of the replayed submissions")
+	out := fs.String("out", "BENCH_server.json", "report file ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadtest: unexpected argument %q", fs.Arg(0))
+	}
+	var levels []int
+	for _, p := range splitList(*clients) {
+		n := 0
+		if _, err := fmt.Sscanf(p, "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("loadtest: -clients %q: %q is not a positive integer", *clients, p)
+		}
+		levels = append(levels, n)
+	}
+	if len(levels) == 0 {
+		return fmt.Errorf("loadtest: -clients is empty")
+	}
+	mix, err := loadtest.ParseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	// The default workload is the same canned grid the CI smokes submit:
+	// two cells (one task, two devices, IMPL arm) at two epochs.
+	spec := grid.Spec{
+		Tasks:    []string{"smallcnn-cifar10"},
+		Devices:  []string{"V100", "TPUv2"},
+		Variants: []string{"IMPL"},
+		Recipes:  []grid.Recipe{{Epochs: 2}},
+	}
+	if *specFile != "" {
+		var raw []byte
+		var err error
+		if *specFile == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*specFile)
+		}
+		if err != nil {
+			return err
+		}
+		if spec, err = grid.Parse(raw); err != nil {
+			return err
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadtest.Run(ctx, loadtest.Options{
+		Addr:     *addr,
+		Levels:   levels,
+		Duration: *duration,
+		Requests: *requests,
+		Mix:      mix,
+		Seed:     *seed,
+		Spec:     spec,
+		Scale:    *scaleFlag,
+		Replicas: *replicas,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "nnrand: loadtest: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nnrand: loadtest: report written to %s\n", *out)
+	return nil
 }
 
 // workerCmd joins a fleet coordinator and trains leased work units until

@@ -101,9 +101,11 @@ type tableRunner func(ctx context.Context, cfg Config) ([]*report.Table, error)
 type experiment struct {
 	meta Meta
 	run  tableRunner
-	// cells is the compiled grid size for spec-registered artifacts (the
-	// progress total one run reports); 0 for non-grid harnesses.
-	cells int
+	// cells holds the compiled grid for spec-registered artifacts — its
+	// length is the progress total one run reports, and the admission
+	// layer prices submissions from it (EstimateExperiment); nil for
+	// bespoke harnesses.
+	cells []gridCell
 }
 
 // registry maps experiment IDs (table2, fig5, ...) to harnesses.
@@ -111,7 +113,7 @@ var registry = map[string]experiment{}
 
 // register wires an experiment's metadata and harness at init time.
 func register(meta Meta, run tableRunner) {
-	registerCells(meta, run, 0)
+	registerCells(meta, run, nil)
 }
 
 // gridRender renders a grid artifact's tables from its cells and their
@@ -139,10 +141,10 @@ func registerGrid(meta Meta, specs []grid.Spec, render gridRender) {
 			return nil, err
 		}
 		return render(cells, pops)
-	}, len(cells))
+	}, cells)
 }
 
-func registerCells(meta Meta, run tableRunner, cells int) {
+func registerCells(meta Meta, run tableRunner, cells []gridCell) {
 	if meta.ID == "" || meta.Title == "" {
 		panic(fmt.Sprintf("experiments: %q registered without complete metadata", meta.ID))
 	}
@@ -160,10 +162,10 @@ func registerCells(meta Meta, run tableRunner, cells int) {
 // that are not declarative grids.
 func GridCells(id string) (cells int, ok bool) {
 	e, found := registry[id]
-	if !found || e.cells == 0 {
+	if !found || len(e.cells) == 0 {
 		return 0, false
 	}
-	return e.cells, true
+	return len(e.cells), true
 }
 
 // wrap turns an internal harness into the public Runner: it times the run

@@ -327,13 +327,34 @@ func (p *Plan) Estimate(cfg Config) Estimate {
 // cells, or a previous process writing the same disk ledger) are counted
 // as cached and excluded from the to-train cost.
 func (p *Populations) Estimate(plan *Plan, cfg Config) Estimate {
-	est := plan.Estimate(cfg)
-	cfg = plan.Config(cfg)
+	return p.estimateCells(plan.cells, plan.Config(cfg))
+}
+
+// EstimateExperiment prices a registered experiment the way Estimate
+// prices a custom grid — against the live replica ledger. ok is false
+// for experiments that are not declarative grids (profiling and
+// dataset-statistic artifacts have no training the estimator can
+// price); the admission layer treats those as free.
+func (p *Populations) EstimateExperiment(id string, cfg Config) (est Estimate, ok bool) {
+	e, found := registry[id]
+	if !found || len(e.cells) == 0 {
+		return Estimate{}, false
+	}
+	return p.estimateCells(e.cells, cfg), true
+}
+
+// estimateCells is the shared pricing core: cold cost per cell, with the
+// ledger crediting every replica index it already holds.
+func (p *Populations) estimateCells(cells []gridCell, cfg Config) Estimate {
+	reps := cfg.EffectiveReplicas()
+	est := Estimate{Cells: len(cells), ReplicasPerCell: reps, TrainingRuns: len(cells) * reps}
 	led := p.Ledger()
-	for _, c := range plan.cells {
-		warm := led.Warm(c.task.cellKey(cfg, c.dev, c.v), est.ReplicasPerCell)
+	for _, c := range cells {
+		epochs := c.task.epochs[cfg.Scale]
+		warm := led.Warm(c.task.cellKey(cfg, c.dev, c.v), reps)
+		est.TotalEpochs += epochs * reps
 		est.CachedReplicas += warm
-		est.TrainEpochs -= c.task.epochs[cfg.Scale] * warm
+		est.TrainEpochs += epochs * (reps - warm)
 	}
 	est.TrainReplicas = est.TrainingRuns - est.CachedReplicas
 	return est

@@ -187,6 +187,11 @@ const (
 // (Alias of the scheduler's error so callers need only one import.)
 var ErrQueueFull = sched.ErrQueueFull
 
+// ErrQueueClosed is returned by Submit once the engine is closed or
+// draining — shutdown, not backpressure, so the serve layer maps it to
+// a distinct machine-readable reason.
+var ErrQueueClosed = sched.ErrQueueClosed
+
 // Engine owns the job table and the bounded execution queue.
 type Engine struct {
 	run        RunFunc

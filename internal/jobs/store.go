@@ -49,6 +49,12 @@ type Store struct {
 	// quarantined counts corrupt files moved aside (never deleted); see
 	// internal/quarantine.
 	quarantined atomic.Int64
+
+	// hits/misses count Get outcomes since Open. Every submission probes
+	// the store first, so these are the result-cache traffic counters the
+	// stats and metrics endpoints report.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // Open returns a Store holding at most capacity results (<= 0 picks
@@ -131,6 +137,7 @@ func (s *Store) Get(key string) (*report.Result, bool) {
 	defer s.mu.Unlock()
 	e, ok := s.idx.Get(key)
 	if !ok {
+		s.misses.Add(1)
 		return nil, false
 	}
 	if e.Value == nil {
@@ -140,13 +147,22 @@ func (s *Store) Get(key string) (*report.Result, bool) {
 				s.quarantineFile(key+".json", fmt.Sprintf("result failed to decode: %v", err))
 			}
 			s.remove(e, false)
+			s.misses.Add(1)
 			return nil, false
 		}
 		e.Value = res
 	}
 	s.idx.MoveToFront(e)
+	s.hits.Add(1)
 	return e.Value, true
 }
+
+// Hits reports how many Get calls were served from the store since
+// Open.
+func (s *Store) Hits() int64 { return s.hits.Load() }
+
+// Misses reports how many Get calls found nothing since Open.
+func (s *Store) Misses() int64 { return s.misses.Load() }
 
 // Quarantined reports how many corrupt files this store has moved to
 // quarantine since it was opened.

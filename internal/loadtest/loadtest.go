@@ -1,0 +1,496 @@
+// Package loadtest is the serving benchmark harness behind
+// `nnrand loadtest`: a deterministic load generator that replays a
+// mixed grid/job/result workload against a running server and reports
+// per-route latency quantiles, throughput, cache hit rate and shed
+// counts at several concurrency levels — the numbers BENCH_server.json
+// publishes for the serving path the way BENCH_baseline.json does for
+// the kernels.
+//
+// Discipline (imported from satnet-simulator's trial runner): every
+// claim comes from a scripted, repeatable trial. The generator is
+// seeded — each client derives its operation sequence from
+// (Seed, level, client index) — so two runs against the same server
+// issue the same requests in the same per-client order, and the typed
+// Report round-trips through JSON so CI can assert on it. Before
+// measuring, a warmup phase submits the canned grid once and waits for
+// it to finish, so the measured traffic exercises the serving path
+// (store hits, ledger reads, admission) rather than training speed; the
+// warmup's own requests are reported separately so request accounting
+// stays exact.
+//
+// Latencies are measured client-side around the full HTTP round trip
+// with the same fixed-bucket histograms the server's telemetry uses
+// (internal/telemetry), so client p50/p99 and server p50/p99 are
+// directly comparable.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// Route labels for the three operation kinds, matching the server's
+// telemetry labels exactly so client-side counts can be checked against
+// server-side counters.
+const (
+	RouteGrid   = "POST /v1/grid"
+	RouteJob    = "GET /v1/jobs/{id}"
+	RouteResult = "GET /v1/results/{key}"
+)
+
+// Mix weights the three operation kinds. The flag form is
+// "G:J:R" (grid:job:result), e.g. "4:2:4".
+type Mix struct {
+	// Grid is the weight of POST /v1/grid submissions (served cached
+	// after warmup).
+	Grid int `json:"grid"`
+	// Job is the weight of GET /v1/jobs/{id} status polls.
+	Job int `json:"job"`
+	// Result is the weight of GET /v1/results/{key} fetches.
+	Result int `json:"result"`
+}
+
+// ParseMix parses the "G:J:R" flag form; weights are non-negative and
+// at least one must be positive.
+func ParseMix(s string) (Mix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Mix{}, fmt.Errorf("loadtest: mix %q: want grid:job:result, e.g. 4:2:4", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &w[i]); err != nil {
+			return Mix{}, fmt.Errorf("loadtest: mix %q: %q is not an integer", s, p)
+		}
+		if w[i] < 0 {
+			return Mix{}, fmt.Errorf("loadtest: mix %q: negative weight", s)
+		}
+	}
+	m := Mix{Grid: w[0], Job: w[1], Result: w[2]}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("loadtest: mix %q: all weights zero", s)
+	}
+	return m, nil
+}
+
+func (m Mix) total() int { return m.Grid + m.Job + m.Result }
+
+// String renders the canonical flag form.
+func (m Mix) String() string { return fmt.Sprintf("%d:%d:%d", m.Grid, m.Job, m.Result) }
+
+// pick maps one draw from rng onto an operation kind.
+func (m Mix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total())
+	if n < m.Grid {
+		return RouteGrid
+	}
+	if n < m.Grid+m.Job {
+		return RouteJob
+	}
+	return RouteResult
+}
+
+// Options configures one loadtest run.
+type Options struct {
+	// Addr is the server base URL, e.g. "http://127.0.0.1:8080".
+	Addr string
+	// Levels are the concurrent client counts to measure, in order
+	// (the benchmark convention is 1, 4, 16).
+	Levels []int
+	// Duration bounds each level's measurement window (ignored when
+	// Requests is set).
+	Duration time.Duration
+	// Requests, when positive, has each client issue exactly this many
+	// requests per level instead of running for Duration — the fully
+	// deterministic mode CI and tests use.
+	Requests int
+	// Mix weights grid/job/result operations.
+	Mix Mix
+	// Seed anchors every client's operation sequence.
+	Seed uint64
+	// Spec is the canned grid the workload replays. Scale/Replicas ride
+	// along in the submission body.
+	Spec     grid.Spec
+	Scale    string
+	Replicas int
+	// Client overrides the HTTP client (nil builds one sized for the
+	// largest level so connection reuse, not dialing, is measured).
+	Client *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Report is the typed BENCH_server.json document.
+type Report struct {
+	// Tool identifies the generator ("nnrand loadtest").
+	Tool string `json:"tool"`
+	// Addr is the target server.
+	Addr string `json:"addr"`
+	// GridID is the canned grid's canonical identity.
+	GridID string `json:"grid_id"`
+	// Key is the canned grid's result key (what warmup completed and
+	// the result fetches read); JobID is the warm job status polls hit.
+	Key   string `json:"key"`
+	JobID string `json:"job_id"`
+	// Mix echoes the operation weights ("grid:job:result").
+	Mix string `json:"mix"`
+	// Seed echoes the generator seed.
+	Seed uint64 `json:"seed"`
+	// Warmup accounts the pre-measurement requests per route, so
+	// server-side counters reconcile exactly with the report.
+	Warmup map[string]int64 `json:"warmup"`
+	// Levels holds one entry per concurrency level, in run order.
+	Levels []Level `json:"levels"`
+}
+
+// Level is one concurrency level's measurement.
+type Level struct {
+	// Clients is the number of concurrent clients.
+	Clients int `json:"clients"`
+	// DurationSeconds is the measured wall time of the level.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Requests counts completed requests (transport errors excluded).
+	Requests int64 `json:"requests"`
+	// RPS is Requests / DurationSeconds.
+	RPS float64 `json:"rps"`
+	// TransportErrors counts requests that never produced a status.
+	TransportErrors int64 `json:"transport_errors"`
+	// CacheHits counts grid submissions answered from the result store
+	// (the response's cached flag); CacheHitRate is CacheHits over grid
+	// submissions.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Rejected counts 429s (admission: budget or rate); Shed counts
+	// 503s (backpressure: queue full or draining); ServerErrors counts
+	// other 5xx — the count CI pins to zero.
+	Rejected     int64 `json:"rejected"`
+	Shed         int64 `json:"shed"`
+	ServerErrors int64 `json:"server_errors"`
+	// Routes breaks the level down per route with latency quantiles.
+	Routes []RouteReport `json:"routes"`
+}
+
+// RouteReport is one route's share of a level.
+type RouteReport struct {
+	Route    string  `json:"route"`
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// Status maps "2xx".."5xx" classes to counts.
+	Status map[string]int64 `json:"status,omitempty"`
+}
+
+// routeTrack accumulates one route's measurements during a level.
+// Refusals get exact tallies (429/503 are the admission signals the
+// report is for); everything else is tracked by status class.
+type routeTrack struct {
+	requests atomic.Int64
+	status   [5]atomic.Int64
+	rejected atomic.Int64 // 429
+	shed     atomic.Int64 // 503
+	latency  *telemetry.Histogram
+}
+
+// gridEcho is the slice of the grid response the generator reads.
+type gridEcho struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	GridID string `json:"grid_id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  *struct {
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Run executes the configured loadtest: warmup, then each level in
+// order. The context cancels promptly; a cancelled run returns what it
+// measured so far along with ctx.Err().
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if len(opts.Levels) == 0 {
+		return nil, fmt.Errorf("loadtest: no client levels given")
+	}
+	if opts.Requests <= 0 && opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadtest: need -duration or -requests")
+	}
+	if opts.Mix.total() == 0 {
+		opts.Mix = Mix{Grid: 4, Job: 2, Result: 4}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := opts.Client
+	if client == nil {
+		maxClients := 0
+		for _, l := range opts.Levels {
+			if l > maxClients {
+				maxClients = l
+			}
+		}
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        maxClients + 2,
+			MaxIdleConnsPerHost: maxClients + 2,
+		}}
+	}
+	base := strings.TrimRight(opts.Addr, "/")
+
+	rep := &Report{
+		Tool:   "nnrand loadtest",
+		Addr:   opts.Addr,
+		Mix:    opts.Mix.String(),
+		Seed:   opts.Seed,
+		Warmup: map[string]int64{},
+	}
+
+	body, err := json.Marshal(struct {
+		Grid     grid.Spec `json:"grid"`
+		Scale    string    `json:"scale,omitempty"`
+		Replicas int       `json:"replicas,omitempty"`
+		Seed     uint64    `json:"seed,omitempty"`
+	}{opts.Spec, opts.Scale, opts.Replicas, opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := warmup(ctx, client, base, body, rep, logf); err != nil {
+		return nil, err
+	}
+
+	for _, n := range opts.Levels {
+		lvl, err := runLevel(ctx, client, base, body, opts, n, rep)
+		if lvl != nil {
+			rep.Levels = append(rep.Levels, *lvl)
+		}
+		if err != nil {
+			return rep, err
+		}
+		logf("level %d clients: %d requests in %.2fs (%.0f rps, %d rejected, %d shed)",
+			n, lvl.Requests, lvl.DurationSeconds, lvl.RPS, lvl.Rejected, lvl.Shed)
+	}
+	return rep, nil
+}
+
+// warmup submits the canned grid and polls it to completion, so every
+// measured submission afterwards is a store hit. Its requests are
+// accounted in rep.Warmup.
+func warmup(ctx context.Context, client *http.Client, base string, body []byte, rep *Report, logf func(string, ...any)) error {
+	logf("warmup: submitting canned grid")
+	echo, status, err := postGrid(ctx, client, base, body)
+	if err != nil {
+		return fmt.Errorf("loadtest: warmup submit: %w", err)
+	}
+	rep.Warmup[RouteGrid]++
+	if status != http.StatusOK && status != http.StatusAccepted {
+		return fmt.Errorf("loadtest: warmup submit: HTTP %d", status)
+	}
+	rep.GridID = echo.GridID
+	rep.Key = echo.Key
+	rep.JobID = echo.ID
+	for !terminalState(echo.State) {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+		raw, status, err := get(ctx, client, base+"/v1/jobs/"+echo.ID)
+		if err != nil {
+			return fmt.Errorf("loadtest: warmup poll: %w", err)
+		}
+		rep.Warmup[RouteJob]++
+		if status != http.StatusOK {
+			return fmt.Errorf("loadtest: warmup poll: HTTP %d", status)
+		}
+		if err := json.Unmarshal(raw, &echo); err != nil {
+			return fmt.Errorf("loadtest: warmup poll: %w", err)
+		}
+	}
+	if echo.State != "done" {
+		msg := echo.State
+		if echo.Error != nil {
+			msg = echo.Error.Message
+		}
+		return fmt.Errorf("loadtest: warmup grid ended %s", msg)
+	}
+	logf("warmup: grid %s done (key %s)", rep.GridID, rep.Key)
+	return nil
+}
+
+func terminalState(s string) bool { return s == "done" || s == "failed" || s == "cancelled" }
+
+// runLevel drives n concurrent clients against the warm server.
+func runLevel(ctx context.Context, client *http.Client, base string, body []byte, opts Options, n int, rep *Report) (*Level, error) {
+	tracks := map[string]*routeTrack{
+		RouteGrid:   {latency: telemetry.NewHistogram()},
+		RouteJob:    {latency: telemetry.NewHistogram()},
+		RouteResult: {latency: telemetry.NewHistogram()},
+	}
+	var transportErrors, cacheHits, gridPosts atomic.Int64
+
+	// Refresh the polled job before the clients start: job retention is
+	// bounded, so the warmup job may have been evicted by an earlier
+	// level's submission churn. Clients then track their own most recent
+	// submission — poll what you submitted, like a real client — so the
+	// ID they poll stays live however fast the retention list turns over.
+	// This bookkeeping request is accounted with the warmup so the
+	// client/server reconciliation stays exact.
+	levelJobID := rep.JobID
+	if echo, status, err := postGrid(ctx, client, base, body); err == nil {
+		rep.Warmup[RouteGrid]++
+		if (status == http.StatusOK || status == http.StatusAccepted) && echo.ID != "" {
+			levelJobID = echo.ID
+		}
+	}
+
+	deadline := time.Now().Add(opts.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// The sequence is a pure function of (seed, level, client): two
+			// runs replay identical per-client request streams.
+			rng := rand.New(rand.NewSource(int64(opts.Seed) ^ int64(n)<<32 ^ int64(c)))
+			jobID := levelJobID
+			for i := 0; opts.Requests > 0 && i < opts.Requests || opts.Requests <= 0 && time.Now().Before(deadline); i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				op := opts.Mix.pick(rng)
+				t := tracks[op]
+				reqStart := time.Now()
+				var status int
+				var err error
+				switch op {
+				case RouteGrid:
+					var echo *gridEcho
+					echo, status, err = postGrid(ctx, client, base, body)
+					if err == nil {
+						gridPosts.Add(1)
+						if echo.Cached {
+							cacheHits.Add(1)
+						}
+						if echo.ID != "" {
+							jobID = echo.ID
+						}
+					}
+				case RouteJob:
+					_, status, err = get(ctx, client, base+"/v1/jobs/"+jobID)
+				case RouteResult:
+					_, status, err = get(ctx, client, base+"/v1/results/"+rep.Key)
+				}
+				if err != nil {
+					transportErrors.Add(1)
+					continue
+				}
+				t.latency.Observe(time.Since(reqStart))
+				t.requests.Add(1)
+				if cls := status/100 - 1; cls >= 0 && cls < 5 {
+					t.status[cls].Add(1)
+				}
+				switch status {
+				case http.StatusTooManyRequests:
+					t.rejected.Add(1)
+				case http.StatusServiceUnavailable:
+					t.shed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lvl := &Level{
+		Clients:         n,
+		DurationSeconds: elapsed.Seconds(),
+		TransportErrors: transportErrors.Load(),
+		CacheHits:       cacheHits.Load(),
+	}
+	for _, route := range []string{RouteGrid, RouteJob, RouteResult} {
+		t := tracks[route]
+		reqs := t.requests.Load()
+		lvl.Requests += reqs
+		snap := t.latency.Snapshot(false)
+		rr := RouteReport{
+			Route:    route,
+			Requests: reqs,
+			P50Ms:    snap.P50Millis,
+			P90Ms:    snap.P90Millis,
+			P99Ms:    snap.P99Millis,
+		}
+		classes := [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+		for i, name := range classes {
+			if cnt := t.status[i].Load(); cnt > 0 {
+				if rr.Status == nil {
+					rr.Status = map[string]int64{}
+				}
+				rr.Status[name] = cnt
+			}
+		}
+		lvl.Routes = append(lvl.Routes, rr)
+		lvl.Rejected += t.rejected.Load()
+		lvl.Shed += t.shed.Load()
+		// 5xx class minus the 503 shed = genuine server errors.
+		lvl.ServerErrors += t.status[4].Load() - t.shed.Load()
+	}
+	if lvl.DurationSeconds > 0 {
+		lvl.RPS = float64(lvl.Requests) / lvl.DurationSeconds
+	}
+	if posts := gridPosts.Load(); posts > 0 {
+		lvl.CacheHitRate = float64(lvl.CacheHits) / float64(posts)
+	}
+	return lvl, ctx.Err()
+}
+
+// postGrid submits the canned grid and decodes the response echo.
+func postGrid(ctx context.Context, client *http.Client, base string, body []byte) (*gridEcho, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/grid", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	echo := &gridEcho{}
+	_ = json.Unmarshal(raw, echo) // refusal bodies have no echo; status carries the news
+	return echo, resp.StatusCode, nil
+}
+
+// get issues one GET, draining the body so the connection is reusable.
+func get(ctx context.Context, client *http.Client, url string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return raw, resp.StatusCode, nil
+}

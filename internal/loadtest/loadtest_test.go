@@ -1,0 +1,187 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+var testSpec = grid.Spec{
+	Tasks:    []string{"smallcnn-cifar10"},
+	Devices:  []string{"V100", "TPUv2"},
+	Variants: []string{"IMPL"},
+	Recipes:  []grid.Recipe{{Epochs: 2}},
+}
+
+func stubResult(id string) *report.Result {
+	tb := report.New("stub", "k", "v")
+	tb.AddCells(report.Str(id), report.Int(1))
+	return &report.Result{Experiment: id, Title: "stub", Kind: report.KindTable, Tables: []*report.Table{tb}}
+}
+
+// newBenchTarget builds a server (grid execution stubbed — the
+// benchmark measures serving, not training) and returns it with its
+// HTTP front.
+func newBenchTarget(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(server.Options{
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			return stubResult(plan.ID()), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+func testOptions(addr string) Options {
+	return Options{
+		Addr:     addr,
+		Levels:   []int{1, 2},
+		Requests: 20, // deterministic mode: exactly 20 per client per level
+		Mix:      Mix{Grid: 4, Job: 2, Result: 4},
+		Seed:     7,
+		Spec:     testSpec,
+		Scale:    "test",
+		Replicas: 1,
+	}
+}
+
+// TestRunReconciles is the determinism satellite: a Requests-mode run
+// against a stubbed server must produce a report whose request counts,
+// plus the warmup's, exactly match the server's own telemetry counters
+// — client books and server books agree to the request.
+func TestRunReconciles(t *testing.T) {
+	s, srv := newBenchTarget(t)
+	rep, err := Run(context.Background(), testOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GridID == "" || rep.Key == "" || rep.JobID == "" {
+		t.Fatalf("report identity incomplete: %+v", rep)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(rep.Levels))
+	}
+	for _, lvl := range rep.Levels {
+		if want := int64(lvl.Clients * 20); lvl.Requests != want {
+			t.Errorf("level %d: requests = %d, want %d", lvl.Clients, lvl.Requests, want)
+		}
+		if lvl.TransportErrors != 0 || lvl.ServerErrors != 0 {
+			t.Errorf("level %d: transport=%d server=%d errors, want 0/0", lvl.Clients, lvl.TransportErrors, lvl.ServerErrors)
+		}
+		if lvl.RPS <= 0 {
+			t.Errorf("level %d: rps = %g, want > 0", lvl.Clients, lvl.RPS)
+		}
+		// After warmup every grid submission is a store hit.
+		if lvl.CacheHitRate != 1 {
+			t.Errorf("level %d: cache hit rate = %g, want 1", lvl.Clients, lvl.CacheHitRate)
+		}
+	}
+
+	// Client-side counts + warmup == server-side telemetry, per route.
+	clientTotal := map[string]int64{}
+	for route, n := range rep.Warmup {
+		clientTotal[route] += n
+	}
+	for _, lvl := range rep.Levels {
+		for _, rr := range lvl.Routes {
+			clientTotal[rr.Route] += rr.Requests
+		}
+	}
+	serverSeen := map[string]int64{}
+	for _, rs := range s.Telemetry().Snapshot(false) {
+		serverSeen[rs.Route] = rs.Requests
+		if rs.Requests != rs.Latency.Count {
+			t.Errorf("server route %s: requests %d != histogram count %d", rs.Route, rs.Requests, rs.Latency.Count)
+		}
+	}
+	for route, n := range clientTotal {
+		if serverSeen[route] != n {
+			t.Errorf("route %s: client issued %d, server counted %d", route, n, serverSeen[route])
+		}
+	}
+	for route, n := range serverSeen {
+		if _, issued := clientTotal[route]; !issued && n != 0 {
+			t.Errorf("server counted %d requests on %s the generator never issued", n, route)
+		}
+	}
+}
+
+// TestReportRoundTrips pins the BENCH_server.json schema: the typed
+// report survives marshal/unmarshal without loss, so CI can parse the
+// committed artifact back into the same struct.
+func TestReportRoundTrips(t *testing.T) {
+	_, srv := newBenchTarget(t)
+	rep, err := Run(context.Background(), testOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH_server.json does not round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(*rep, back) {
+		t.Fatalf("round-trip drift:\n  out: %+v\n  back: %+v", *rep, back)
+	}
+	if back.Tool != "nnrand loadtest" || back.Mix != "4:2:4" || back.Seed != 7 {
+		t.Fatalf("report header = %+v", back)
+	}
+}
+
+// TestRunDeterministic pins the seeded-generator claim: two runs with
+// the same seed against fresh identical servers issue identical
+// per-route request counts.
+func TestRunDeterministic(t *testing.T) {
+	counts := func() map[string]int64 {
+		_, srv := newBenchTarget(t)
+		rep, err := Run(context.Background(), testOptions(srv.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		for i, lvl := range rep.Levels {
+			for _, rr := range lvl.Routes {
+				out[string(rune('0'+i))+rr.Route] = rr.Requests
+			}
+		}
+		return out
+	}
+	a, b := counts(), counts()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different workloads:\n  a: %v\n  b: %v", a, b)
+	}
+}
+
+// TestParseMix pins the flag grammar.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("4:2:4")
+	if err != nil || m != (Mix{Grid: 4, Job: 2, Result: 4}) {
+		t.Fatalf("ParseMix(4:2:4) = %+v, %v", m, err)
+	}
+	if m.String() != "4:2:4" {
+		t.Fatalf("String() = %q", m.String())
+	}
+	for _, bad := range []string{"", "1:2", "1:2:3:4", "a:b:c", "-1:2:3", "0:0:0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

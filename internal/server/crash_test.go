@@ -110,8 +110,14 @@ func TestReadyzDuringDrain(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	// New submissions are refused while draining.
-	postJSON(t, srv, "/v1/jobs", `{"experiment":"fig1","scale":"test","seed":99}`, http.StatusInternalServerError, nil)
+	// New submissions are shed while draining: 503 with the
+	// machine-readable reason, so clients fail over instead of retrying
+	// a server on its way down.
+	var e errorResponse
+	postJSON(t, srv, "/v1/jobs", `{"experiment":"fig1","scale":"test","seed":99}`, http.StatusServiceUnavailable, &e)
+	if e.Reason != ReasonDraining {
+		t.Errorf("drain refusal reason = %q, want %q", e.Reason, ReasonDraining)
+	}
 	close(release)
 	if err := <-drained; err != nil {
 		t.Fatalf("drain: %v", err)

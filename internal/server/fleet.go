@@ -10,6 +10,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
+	"repro/internal/telemetry"
 )
 
 // This file is the HTTP face of fleet mode plus the stats endpoint: the
@@ -25,6 +26,12 @@ const maxUploadBytes = 64 << 20
 
 // StatsResponse is the GET /v1/stats reply.
 type StatsResponse struct {
+	// Requests is the serving-layer rollup (totals across every route);
+	// the per-route breakdown with latency histograms lives on
+	// GET /v1/metrics.
+	Requests telemetry.Totals `json:"requests"`
+	// Admission counts capacity refusals by mechanism.
+	Admission AdmissionStats `json:"admission"`
 	// Queue is the submission backlog against its capacity.
 	Queue QueueStats `json:"queue"`
 	// Jobs counts retained jobs by state (all states present, zeros
@@ -57,9 +64,14 @@ type LedgerStats struct {
 	Quarantined int64 `json:"quarantined"`
 }
 
-// StoreStats is the result-store slice of StatsResponse.
+// StoreStats is the result-store slice of StatsResponse. Hits/misses
+// count store probes: every submission probes the store before running,
+// so hits/(hits+misses) is the result-cache hit rate the load benchmark
+// reports.
 type StoreStats struct {
-	Results int `json:"results"`
+	Results int   `json:"results"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
 }
 
 // PopulationStats is the population-cache slice of StatsResponse.
@@ -71,6 +83,8 @@ type PopulationStats struct {
 // counters (ROADMAP item 5's first slice). All values are monotone
 // counters or instantaneous gauges; nothing here blocks on training.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Counters describe this instant; a cached copy is misinformation.
+	w.Header().Set("Cache-Control", "no-store")
 	queued, capacity := s.engine.QueueBacklog()
 	byState := map[string]int{
 		string(jobs.StateQueued):    0,
@@ -83,9 +97,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		byState[string(j.Snapshot().State)]++
 	}
 	led := s.pops.Ledger()
+	store := s.engine.Store()
 	resp := StatsResponse{
-		Queue: QueueStats{Backlog: queued, Capacity: capacity},
-		Jobs:  byState,
+		Requests:  s.tel.Totals(),
+		Admission: s.admissionStats(),
+		Queue:     QueueStats{Backlog: queued, Capacity: capacity},
+		Jobs:      byState,
 		Ledger: LedgerStats{
 			Replicas:    led.Len(),
 			Trains:      led.Trains(),
@@ -93,7 +110,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Misses:      led.Misses(),
 			Quarantined: led.Quarantined(),
 		},
-		Store:       StoreStats{Results: s.engine.Store().Len()},
+		Store:       StoreStats{Results: store.Len(), Hits: store.Hits(), Misses: store.Misses()},
 		Populations: PopulationStats{ReplicaTrains: s.pops.Trains()},
 	}
 	if s.fleet != nil {

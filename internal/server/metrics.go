@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// MetricsResponse is the GET /v1/metrics reply: the full telemetry
+// snapshot — per-route request counters, status classes, in-flight
+// gauges and latency histograms with derived p50/p90/p99 — plus the
+// admission layer's rejection counters. Everything here is an atomic
+// counter or gauge; the handler never blocks on training.
+type MetricsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests rolls every route up: totals, in-flight, 429s, 5xx.
+	Requests telemetry.Totals `json:"requests"`
+	// Admission counts capacity refusals by mechanism, matching the
+	// machine-readable reasons on the 429/503 bodies.
+	Admission AdmissionStats `json:"admission"`
+	// Routes is the per-route breakdown, sorted by route label.
+	Routes []telemetry.RouteSnapshot `json:"routes"`
+}
+
+// AdmissionStats counts requests refused for capacity reasons since
+// start, by mechanism.
+type AdmissionStats struct {
+	// BudgetRejected: grid/job submissions whose estimated train_epochs
+	// exceeded -max-train-epochs (reason "budget_exceeded").
+	BudgetRejected int64 `json:"budget_rejected"`
+	// RateShed: requests dropped by the per-client token bucket (reason
+	// "rate_limited").
+	RateShed int64 `json:"rate_shed"`
+	// QueueFull: submissions refused because the job backlog was at
+	// capacity (reason "queue_full").
+	QueueFull int64 `json:"queue_full"`
+	// MaxTrainEpochs echoes the configured budget (0 = unlimited).
+	MaxTrainEpochs int `json:"max_train_epochs,omitempty"`
+	// RatePerClient echoes the configured token-bucket rate (0 = off).
+	RatePerClient float64 `json:"rate_per_client,omitempty"`
+}
+
+// admissionStats snapshots the refusal counters.
+func (s *Server) admissionStats() AdmissionStats {
+	st := AdmissionStats{
+		BudgetRejected: s.rejectedBudget.Load(),
+		RateShed:       s.shedRate.Load(),
+		QueueFull:      s.shedQueue.Load(),
+		MaxTrainEpochs: s.maxTrainEpochs,
+	}
+	if s.limiter != nil {
+		st.RatePerClient = s.limiter.rate
+	}
+	return st
+}
+
+// handleMetrics is GET /v1/metrics: the serving-observability snapshot.
+// Cache-Control: no-store — a cached metrics reply is a lie about the
+// present.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeSeconds: s.tel.Uptime().Seconds(),
+		Requests:      s.tel.Totals(),
+		Admission:     s.admissionStats(),
+		Routes:        s.tel.Snapshot(true),
+	})
+}

@@ -80,6 +80,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
@@ -90,6 +91,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/ledger"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // DefaultCacheSize bounds the completed-result store when
@@ -157,6 +159,24 @@ type Options struct {
 	// default). Shorter TTLs steal abandoned units faster at the cost of
 	// more heartbeat traffic.
 	LeaseTTL time.Duration
+	// MaxTrainEpochs is the admission budget: grid and experiment
+	// submissions whose ledger-priced estimate would train more than
+	// this many epochs are refused with 429 (reason "budget_exceeded",
+	// the estimate echoed). 0 admits everything.
+	MaxTrainEpochs int
+	// Rate, when positive, enables the per-client token-bucket rate
+	// limiter: each remote host is admitted Rate requests/second
+	// (bursting to Burst) on every endpoint except /v1/healthz and
+	// /v1/readyz; beyond that, requests are shed with 429 (reason
+	// "rate_limited") and a Retry-After.
+	Rate float64
+	// Burst caps a client's token bucket (0 picks max(1, 2*Rate)).
+	Burst int
+	// RequestLog, when non-nil, receives one structured JSON line per
+	// completed request (method, route, status, bytes, duration, remote,
+	// job/result key). The stream is observability, never control flow:
+	// write errors are dropped.
+	RequestLog io.Writer
 }
 
 // GridRunFunc executes one compiled grid plan. Tests substitute stubs;
@@ -171,6 +191,15 @@ type Server struct {
 	fleet   *fleet.Coordinator // nil when Options.Fleet is off
 	runGrid GridRunFunc
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in rate-limit + telemetry middleware
+
+	// Serving observability and admission control (DESIGN.md §13).
+	tel            *telemetry.Registry
+	limiter        *rateLimiter // nil when Options.Rate is zero
+	maxTrainEpochs int
+	rejectedBudget atomic.Int64
+	shedRate       atomic.Int64
+	shedQueue      atomic.Int64
 
 	recovered  int
 	recoverErr error
@@ -218,9 +247,14 @@ func New(opts Options) (*Server, error) {
 			Retries:    opts.Retries,
 			JobTimeout: opts.JobTimeout,
 		}),
-		pops:    pops,
-		led:     led,
-		runGrid: opts.RunGrid,
+		pops:           pops,
+		led:            led,
+		runGrid:        opts.RunGrid,
+		tel:            telemetry.New(),
+		maxTrainEpochs: opts.MaxTrainEpochs,
+	}
+	if opts.Rate > 0 {
+		s.limiter = newRateLimiter(opts.Rate, opts.Burst)
 	}
 	if s.runGrid == nil {
 		s.runGrid = func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
@@ -255,12 +289,17 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	if s.fleet != nil {
 		mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
 		mux.HandleFunc("POST /v1/work/{id}/heartbeat", s.handleWorkHeartbeat)
 		mux.HandleFunc("POST /v1/work/{id}/complete", s.handleWorkComplete)
 	}
 	s.mux = mux
+	// Request flow: telemetry observes everything — including what the
+	// rate limiter sheds, so the 429s are visible in the very metrics
+	// that explain them — then the token bucket, then the mux.
+	s.handler = telemetry.Middleware(s.tel, routeLabel, telemetry.NewLogger(opts.RequestLog), s.limit(mux))
 	return s, nil
 }
 
@@ -269,8 +308,15 @@ func New(opts Options) (*Server, error) {
 func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
 
 // Handler returns the service's HTTP handler for embedding under any
-// listener, router prefix or test server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// listener, router prefix or test server. The handler is the full
+// serving stack: telemetry middleware, then the rate limiter (when
+// configured), then the route mux.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Telemetry exposes the server's request-metrics registry — tests and
+// embedders read counters without an HTTP round trip through
+// /v1/metrics.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Close cancels live jobs and waits for the engine's workers to drain.
 // Shutdown cancellations keep their journal entries, so a later
@@ -384,8 +430,32 @@ type GridResponse struct {
 	Estimate experiments.Estimate `json:"estimate"`
 }
 
+// errorResponse is every non-2xx body. Capacity refusals (429/503)
+// additionally carry a machine-readable Reason, a Retry-After echo, and
+// — for budget rejections — the estimate that priced the refusal, so
+// clients can shrink the request instead of guessing.
 type errorResponse struct {
 	Error string `json:"error"`
+	// Reason is the machine-readable refusal class ("queue_full",
+	// "budget_exceeded", "rate_limited", "draining"); empty on plain
+	// validation errors.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header for clients that
+	// only parse bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Estimate echoes the admission price on budget rejections.
+	Estimate *experiments.Estimate `json:"estimate,omitempty"`
+	// MaxTrainEpochs echoes the budget the estimate was judged against.
+	MaxTrainEpochs int `json:"max_train_epochs,omitempty"`
+}
+
+// writeError writes a JSON error reply, surfacing RetryAfterSeconds as
+// a real Retry-After header so generic HTTP clients back off too.
+func writeError(w http.ResponseWriter, status int, resp errorResponse) {
+	if resp.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", resp.RetryAfterSeconds))
+	}
+	writeJSON(w, status, resp)
 }
 
 // ResultKey is the canonical, URL-safe identity of a run:
@@ -433,8 +503,13 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	key := jobs.ResultKey(plan.ID(), cfg)
 	// Price the grid before submitting: the estimate must describe what
 	// this submission pays, and a fast job could start landing replicas in
-	// the ledger before the response is assembled.
+	// the ledger before the response is assembled. The same estimate is
+	// the admission price: over-budget grids are refused here, before any
+	// queue slot or training epoch is spent on them.
 	est := s.pops.Estimate(plan, cfg)
+	if !s.admitBudget(w, est) {
+		return
+	}
 	// The canonical spec is the job's durable payload: if the process dies
 	// mid-grid, `serve -resume` recompiles it (resolveTask) and resubmits
 	// under the same key.
@@ -443,10 +518,11 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return s.runGrid(ctx, plan, cfg)
 	})
 	if err != nil {
-		writeJSON(w, submitErrStatus(err), errorResponse{Error: err.Error()})
+		s.writeSubmitError(w, err)
 		return
 	}
 	snap := job.Snapshot()
+	telemetry.Annotate(r.Context(), snap.Key)
 	status := http.StatusAccepted
 	if snap.State.Terminal() {
 		status = http.StatusOK
@@ -456,6 +532,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	telemetry.Annotate(r.Context(), key)
 	res, ok := s.engine.Store().Get(key)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no completed result for key %q", key)})
@@ -483,11 +560,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	job, err := s.engine.SubmitAttached(id, cfg)
-	if err != nil {
-		writeJSON(w, submitErrStatus(err), errorResponse{Error: err.Error()})
+	// Synchronous runs pay for training like any submission, so the
+	// admission budget prices them too (bespoke non-grid artifacts have
+	// no estimate and are admitted — they train nothing the estimator
+	// can see).
+	if est, ok := s.pops.EstimateExperiment(id, cfg); ok && !s.admitBudget(w, est) {
 		return
 	}
+	job, err := s.engine.SubmitAttached(id, cfg)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	telemetry.Annotate(r.Context(), jobs.ResultKey(id, cfg))
 	select {
 	case <-job.Done():
 	case <-r.Context().Done():
@@ -534,12 +619,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	if est, ok := s.pops.EstimateExperiment(req.Experiment, cfg); ok && !s.admitBudget(w, est) {
+		return
+	}
 	job, err := s.engine.Submit(req.Experiment, cfg)
 	if err != nil {
-		writeJSON(w, submitErrStatus(err), errorResponse{Error: err.Error()})
+		s.writeSubmitError(w, err)
 		return
 	}
 	snap := job.Snapshot()
+	telemetry.Annotate(r.Context(), snap.Key)
 	status := http.StatusAccepted
 	if snap.State.Terminal() {
 		status = http.StatusOK
@@ -642,7 +731,9 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no such job %q", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Snapshot())
+	snap := job.Snapshot()
+	telemetry.Annotate(r.Context(), snap.Key)
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleJobCancel is DELETE /v1/jobs/{id}: stop a queued job immediately
@@ -658,13 +749,33 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Snapshot())
 }
 
-// submitErrStatus maps engine submission failures onto HTTP statuses:
-// a full queue is backpressure (503), anything else is internal.
-func submitErrStatus(err error) int {
-	if errors.Is(err, jobs.ErrQueueFull) {
-		return http.StatusServiceUnavailable
+// queueFullRetryAfterSeconds is the Retry-After hint when the backlog
+// is at capacity: queues drain at training speed, so a quick retry
+// would only meet the same wall.
+const queueFullRetryAfterSeconds = 5
+
+// writeSubmitError maps engine submission failures onto HTTP replies: a
+// full queue is backpressure (503, reason "queue_full", Retry-After), a
+// draining server is shutdown (503, reason "draining"), anything else
+// is internal.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.shedQueue.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errorResponse{
+			Error:             err.Error(),
+			Reason:            ReasonQueueFull,
+			RetryAfterSeconds: queueFullRetryAfterSeconds,
+		})
+	case errors.Is(err, jobs.ErrQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, errorResponse{
+			Error:             err.Error(),
+			Reason:            ReasonDraining,
+			RetryAfterSeconds: queueFullRetryAfterSeconds,
+		})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
-	return http.StatusInternalServerError
 }
 
 // maxBodyBytes bounds request bodies. Sized for the largest legitimate

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// newTestService is newTestServer for tests that also need the Server
+// itself (telemetry registry, admission counters).
+func newTestService(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+// cannedGrid is the 2-cell test workload the admission tests price:
+// 2 cells x 1 replica x 2 epochs = 4 fresh train epochs on a cold
+// ledger.
+const cannedGrid = `{"grid":{"tasks":["smallcnn-cifar10"],"devices":["v100","tpuv2"],"variants":["IMPL"],"recipes":[{"epochs":2}]},"scale":"test","replicas":1,"seed":7}`
+
+// postRaw issues one POST and returns the raw reply without asserting
+// on the status (the admission tests branch on it).
+func postRaw(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp, raw
+}
+
+// TestAdmissionBudgetGrid pins the tentpole contract on POST /v1/grid:
+// an over-budget grid is refused with 429, a Retry-After header, the
+// machine-readable reason, and the estimate echoed so the client can
+// shrink the request; the same grid under a sufficient budget is
+// admitted.
+func TestAdmissionBudgetGrid(t *testing.T) {
+	s, srv := newTestService(t, Options{
+		MaxTrainEpochs: 3, // the canned grid prices at 4
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			t.Error("over-budget grid must never execute")
+			return stubResult(plan.ID()), nil
+		},
+	})
+	resp, raw := postRaw(t, srv, "/v1/grid", cannedGrid)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget grid = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("unparseable 429 body: %v\n%s", err, raw)
+	}
+	if e.Reason != ReasonBudgetExceeded {
+		t.Errorf("reason = %q, want %q", e.Reason, ReasonBudgetExceeded)
+	}
+	if e.RetryAfterSeconds <= 0 {
+		t.Errorf("retry_after_seconds = %d, want > 0", e.RetryAfterSeconds)
+	}
+	if e.MaxTrainEpochs != 3 {
+		t.Errorf("max_train_epochs = %d, want 3", e.MaxTrainEpochs)
+	}
+	if e.Estimate == nil {
+		t.Fatalf("429 body did not echo the estimate: %s", raw)
+	}
+	if e.Estimate.TrainEpochs != 4 || e.Estimate.Cells != 2 {
+		t.Errorf("echoed estimate = %+v, want 2 cells / 4 train epochs", e.Estimate)
+	}
+	if got := s.admissionStats(); got.BudgetRejected != 1 {
+		t.Errorf("budget_rejected = %d, want 1", got.BudgetRejected)
+	}
+
+	// The same grid fits a budget of exactly its price.
+	_, srv2 := newTestService(t, Options{
+		MaxTrainEpochs: 4,
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			return stubResult(plan.ID()), nil
+		},
+	})
+	resp2, raw2 := postRaw(t, srv2, "/v1/grid", cannedGrid)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("at-budget grid = %d, want 202: %s", resp2.StatusCode, raw2)
+	}
+}
+
+// TestAdmissionBudgetExperiments pins experiment-submission pricing:
+// registered grid artifacts (table2) are priced through the same
+// estimator and refused over budget, while artifacts without a grid
+// shape (table4) are admitted free — there is nothing to price.
+func TestAdmissionBudgetExperiments(t *testing.T) {
+	_, srv := newTestService(t, Options{
+		MaxTrainEpochs: 1,
+		Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+			return stubResult(id), nil
+		},
+	})
+	resp, raw := postRaw(t, srv, "/v1/jobs", `{"experiment":"table2","scale":"test","replicas":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("table2 under budget 1 = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Reason != ReasonBudgetExceeded || e.Estimate == nil {
+		t.Fatalf("429 body = %s (err %v)", raw, err)
+	}
+
+	resp2, raw2 := postRaw(t, srv, "/v1/jobs", `{"experiment":"table4","scale":"test","replicas":1}`)
+	if resp2.StatusCode != http.StatusAccepted && resp2.StatusCode != http.StatusOK {
+		t.Fatalf("unpriceable table4 = %d, want admitted: %s", resp2.StatusCode, raw2)
+	}
+}
+
+// TestRateLimiterSheds pins the token bucket: a burst beyond the bucket
+// is shed with 429/"rate_limited"/Retry-After, while the health probes
+// stay exempt so operators can still see the shedding.
+func TestRateLimiterSheds(t *testing.T) {
+	s, srv := newTestService(t, Options{Rate: 0.001, Burst: 2})
+	// Both tokens spent...
+	for i := 0; i < 2; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/v1/experiments")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d within burst = %d, want 200", i+1, resp.StatusCode)
+		}
+	}
+	// ...the third request is shed (refill at 0.001/s is negligible).
+	resp, err := srv.Client().Get(srv.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("burst overflow = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed reply missing Retry-After header")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Reason != ReasonRateLimited {
+		t.Fatalf("shed body = %s (err %v)", raw, err)
+	}
+	if got := s.admissionStats(); got.RateShed < 1 {
+		t.Errorf("rate_shed = %d, want >= 1", got.RateShed)
+	}
+	// Probes answer 200 no matter how empty the bucket is.
+	for _, path := range []string{"/v1/healthz", "/v1/readyz"} {
+		for i := 0; i < 3; i++ {
+			resp, err := srv.Client().Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s during shedding = %d, want 200", path, resp.StatusCode)
+			}
+		}
+	}
+}
+
+// TestQueueFullReason pins backpressure as distinct from admission: a
+// full backlog is 503/"queue_full" with its own Retry-After, not a 429.
+func TestQueueFullReason(t *testing.T) {
+	release := make(chan struct{})
+	s, srv := newTestService(t, Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Run: func(ctx context.Context, id string, cfg experiments.Config) (*report.Result, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return stubResult(id), nil
+		},
+	})
+	defer close(release)
+	// First job occupies the worker, second fills the queue. Distinct
+	// experiments so submissions do not coalesce onto one job.
+	for i, id := range []string{"fig1", "fig2"} {
+		resp, raw := postRaw(t, srv, "/v1/jobs", `{"experiment":"`+id+`","scale":"test"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d = %d, want 202: %s", i+1, resp.StatusCode, raw)
+		}
+	}
+	// The third finds the backlog at capacity.
+	var resp *http.Response
+	var raw []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, raw = postRaw(t, srv, "/v1/jobs", `{"experiment":"fig5","scale":"test"}`)
+		if resp.StatusCode == http.StatusServiceUnavailable || time.Now().After(deadline) {
+			break
+		}
+		// The first job may not have been picked up yet, leaving queue
+		// room; retry until the backlog is really full.
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After header")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("unparseable 503 body: %v\n%s", err, raw)
+	}
+	if e.Reason != ReasonQueueFull {
+		t.Errorf("reason = %q, want %q (distinct from %q)", e.Reason, ReasonQueueFull, ReasonBudgetExceeded)
+	}
+	if got := s.admissionStats(); got.QueueFull < 1 {
+		t.Errorf("queue_full = %d, want >= 1", got.QueueFull)
+	}
+}
+
+// TestTelemetrySweep is the race-focused satellite: hammer /v1/metrics
+// and /v1/stats from many goroutines while grid submissions run, then
+// verify the books balance exactly — every route's histogram count
+// equals its request counter equals what the clients issued.
+func TestTelemetrySweep(t *testing.T) {
+	s, srv := newTestService(t, Options{
+		RunGrid: func(ctx context.Context, plan *experiments.Plan, cfg experiments.Config) (*report.Result, error) {
+			return stubResult(plan.ID()), nil
+		},
+	})
+
+	const goroutines = 8
+	const iters = 24 // divisible by the 4-way operation rotation
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var resp *http.Response
+				var err error
+				switch i % 4 {
+				case 0:
+					resp, err = srv.Client().Post(srv.URL+"/v1/grid", "application/json", strings.NewReader(cannedGrid))
+				case 1:
+					resp, err = srv.Client().Get(srv.URL + "/v1/metrics")
+				case 2:
+					resp, err = srv.Client().Get(srv.URL + "/v1/stats")
+				case 3:
+					resp, err = srv.Client().Get(srv.URL + "/v1/jobs")
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				issued.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesced: the weakly consistent counters are now exact.
+	tot := s.Telemetry().Totals()
+	if tot.Requests != issued.Load() {
+		t.Fatalf("telemetry requests = %d, clients issued %d", tot.Requests, issued.Load())
+	}
+	if tot.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiescence", tot.InFlight)
+	}
+	wantRoutes := map[string]int64{
+		"POST /v1/grid":   goroutines * iters / 4,
+		"GET /v1/metrics": goroutines * iters / 4,
+		"GET /v1/stats":   goroutines * iters / 4,
+		"GET /v1/jobs":    goroutines * iters / 4,
+	}
+	for _, rs := range s.Telemetry().Snapshot(true) {
+		if rs.Requests != rs.Latency.Count {
+			t.Errorf("route %s: requests %d != histogram count %d", rs.Route, rs.Requests, rs.Latency.Count)
+		}
+		if want, ok := wantRoutes[rs.Route]; ok && rs.Requests != want {
+			t.Errorf("route %s: requests %d, clients issued %d", rs.Route, rs.Requests, want)
+		}
+	}
+
+	// The observability endpoints declare themselves uncacheable and
+	// parse into their typed responses.
+	for _, path := range []string{"/v1/metrics", "/v1/stats"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+		if path == "/v1/metrics" {
+			var m MetricsResponse
+			if err := json.Unmarshal(raw, &m); err != nil {
+				t.Fatalf("%s: invalid JSON: %v", path, err)
+			}
+			if m.Requests.Requests == 0 || len(m.Routes) == 0 {
+				t.Errorf("%s: empty after %d requests: %s", path, issued.Load(), raw)
+			}
+		} else {
+			var st StatsResponse
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatalf("%s: invalid JSON: %v", path, err)
+			}
+			if st.Requests.Requests == 0 {
+				t.Errorf("%s: request totals missing: %s", path, raw)
+			}
+		}
+	}
+}

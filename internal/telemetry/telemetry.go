@@ -1,0 +1,301 @@
+// Package telemetry is the serving-observability layer: lock-free
+// per-route request counters, fixed-bucket latency histograms
+// (p50/p90/p99 derivable from counters alone — no sampling), in-flight
+// gauges, and a structured JSON request logger, packaged as an
+// http.Handler middleware.
+//
+// The design constraint is that the hot path must never take a lock:
+// every per-request mutation is a handful of atomic adds on values
+// looked up through a sync.Map that is read-mostly after the first
+// request to each route. Snapshots are weakly consistent while traffic
+// is in flight (each counter is read individually) and exact once
+// observers quiesce — which is the property tests pin: after N requests
+// complete, every route's histogram count equals its request counter.
+//
+// Route labels are supplied by the embedding server (it knows its own
+// mux patterns); the middleware only requires that the label function
+// keeps cardinality bounded — unknown paths should collapse onto one
+// label rather than minting a route per URL.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouteMetrics holds one route's counters. All fields are atomics;
+// there is no lock to take on the request path.
+type RouteMetrics struct {
+	route    string
+	inFlight atomic.Int64
+	requests atomic.Int64
+	bytes    atomic.Int64
+	// status counts responses by class: index s/100-1 for 1xx..5xx.
+	status [5]atomic.Int64
+	// rejected counts 429s specifically — the admission-control signal,
+	// kept separate from the 4xx class a client typo also lands in.
+	rejected atomic.Int64
+	latency  *Histogram
+}
+
+// RouteSnapshot is one route's JSON form.
+type RouteSnapshot struct {
+	Route    string `json:"route"`
+	Requests int64  `json:"requests"`
+	InFlight int64  `json:"in_flight"`
+	// Status maps "1xx".."5xx" to response counts; only nonzero classes
+	// appear.
+	Status   map[string]int64  `json:"status,omitempty"`
+	Rejected int64             `json:"rejected,omitempty"`
+	Bytes    int64             `json:"bytes"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Registry is a set of RouteMetrics keyed by route label. The zero
+// value is not usable; construct with New.
+type Registry struct {
+	start  time.Time
+	routes sync.Map // route label -> *RouteMetrics
+}
+
+// New returns an empty registry; Uptime is measured from this call.
+func New() *Registry { return &Registry{start: time.Now()} }
+
+// Uptime reports how long this registry (in practice: the server that
+// owns it) has been alive.
+func (g *Registry) Uptime() time.Duration { return time.Since(g.start) }
+
+// Route returns the metrics for a label, creating them on first use.
+// The fast path is one lock-free sync.Map load.
+func (g *Registry) Route(label string) *RouteMetrics {
+	if m, ok := g.routes.Load(label); ok {
+		return m.(*RouteMetrics)
+	}
+	m, _ := g.routes.LoadOrStore(label, &RouteMetrics{route: label, latency: NewHistogram()})
+	return m.(*RouteMetrics)
+}
+
+// begin marks a request in flight.
+func (m *RouteMetrics) begin() { m.inFlight.Add(1) }
+
+// done records one finished request: status class, bytes written, and
+// latency. The request counter increments here — "requests" means
+// completed requests, so it always equals the histogram count.
+func (m *RouteMetrics) done(status int, bytes int64, d time.Duration) {
+	m.inFlight.Add(-1)
+	if c := status/100 - 1; c >= 0 && c < len(m.status) {
+		m.status[c].Add(1)
+	}
+	if status == http.StatusTooManyRequests {
+		m.rejected.Add(1)
+	}
+	m.bytes.Add(bytes)
+	m.latency.Observe(d)
+	m.requests.Add(1)
+}
+
+// Snapshot captures one route's counters.
+func (m *RouteMetrics) Snapshot(withBuckets bool) RouteSnapshot {
+	s := RouteSnapshot{
+		Route:    m.route,
+		Requests: m.requests.Load(),
+		InFlight: m.inFlight.Load(),
+		Rejected: m.rejected.Load(),
+		Bytes:    m.bytes.Load(),
+		Latency:  m.latency.Snapshot(withBuckets),
+	}
+	classes := [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, name := range classes {
+		if n := m.status[i].Load(); n > 0 {
+			if s.Status == nil {
+				s.Status = map[string]int64{}
+			}
+			s.Status[name] = n
+		}
+	}
+	return s
+}
+
+// Totals is the registry-wide rollup surfaced by /v1/stats.
+type Totals struct {
+	Requests  int64 `json:"requests"`
+	InFlight  int64 `json:"in_flight"`
+	Rejected  int64 `json:"rejected"`
+	Errors5xx int64 `json:"errors_5xx"`
+}
+
+// Totals sums every route's counters.
+func (g *Registry) Totals() Totals {
+	var t Totals
+	g.routes.Range(func(_, v any) bool {
+		m := v.(*RouteMetrics)
+		t.Requests += m.requests.Load()
+		t.InFlight += m.inFlight.Load()
+		t.Rejected += m.rejected.Load()
+		t.Errors5xx += m.status[4].Load()
+		return true
+	})
+	return t
+}
+
+// Snapshot captures every route, sorted by label for a stable wire
+// shape.
+func (g *Registry) Snapshot(withBuckets bool) []RouteSnapshot {
+	var out []RouteSnapshot
+	g.routes.Range(func(_, v any) bool {
+		out = append(out, v.(*RouteMetrics).Snapshot(withBuckets))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// LogEntry is one structured request-log line.
+type LogEntry struct {
+	Time       string  `json:"time"`
+	Method     string  `json:"method"`
+	Route      string  `json:"route"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Remote     string  `json:"remote,omitempty"`
+	// Key is the job or result key the handler annotated onto the
+	// request (Annotate), tying log lines to the work they touched.
+	Key string `json:"key,omitempty"`
+}
+
+// Logger serializes request-log lines as JSON, one object per line. A
+// nil *Logger is valid and logs nothing, so callers never branch.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a Logger writing to w (nil w yields a nil Logger).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log writes one entry. Write errors are dropped: the request log is an
+// observability stream, never a reason to fail a request.
+func (l *Logger) Log(e LogEntry) {
+	if l == nil {
+		return
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(raw)
+	l.mu.Unlock()
+}
+
+// annotation is the per-request mutable slot handlers write keys into;
+// the middleware installs one on every request's context.
+type annotation struct {
+	mu  sync.Mutex
+	key string
+}
+
+type annotationCtxKey struct{}
+
+// Annotate attaches a job/result key to the current request's log line.
+// A no-op outside a telemetry middleware (tests calling handlers
+// directly, embedders without the middleware).
+func Annotate(ctx context.Context, key string) {
+	a, ok := ctx.Value(annotationCtxKey{}).(*annotation)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	a.key = key
+	a.mu.Unlock()
+}
+
+// responseRecorder captures status and bytes on the way through. It
+// deliberately does not implement Hijacker: this API is plain
+// request/response JSON.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it streams — the fleet
+// long-poll endpoints hold connections open and must not buffer behind
+// the recorder.
+func (r *responseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with request accounting: per-route counters and
+// latency via reg (routed by label), plus one structured log line per
+// request through log (nil = no logging). label must return a
+// bounded-cardinality route name for any request.
+func Middleware(reg *Registry, label func(*http.Request) string, log *Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := label(r)
+		m := reg.Route(route)
+		a := &annotation{}
+		r = r.WithContext(context.WithValue(r.Context(), annotationCtxKey{}, a))
+		rec := &responseRecorder{ResponseWriter: w}
+		start := time.Now()
+		m.begin()
+		defer func() {
+			d := time.Since(start)
+			status := rec.status
+			if status == 0 {
+				// The handler wrote nothing (e.g. a sync run whose client
+				// disconnected): account it as the 499 convention so it is
+				// visible without inventing a success.
+				status = 499
+			}
+			m.done(status, rec.bytes, d)
+			a.mu.Lock()
+			key := a.key
+			a.mu.Unlock()
+			log.Log(LogEntry{
+				Time:       start.UTC().Format(time.RFC3339Nano),
+				Method:     r.Method,
+				Route:      route,
+				Path:       r.URL.Path,
+				Status:     status,
+				Bytes:      rec.bytes,
+				DurationMS: float64(d) / float64(time.Millisecond),
+				Remote:     r.RemoteAddr,
+				Key:        key,
+			})
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles pins the fixed-bucket quantile math on a known
+// distribution: counts land in the right buckets and the interpolated
+// quantiles stay inside the bucket that holds their rank.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast observations and 10 slow ones: p50 must resolve inside the
+	// fast bucket, p99 inside the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(150 * time.Microsecond) // bucket (100µs, 250µs]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond) // bucket (50ms, 100ms]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	snap := h.Snapshot(true)
+	if snap.Count != 100 {
+		t.Fatalf("snapshot count = %d, want 100", snap.Count)
+	}
+	if snap.P50Millis <= 0.1 || snap.P50Millis > 0.25 {
+		t.Errorf("p50 = %gms, want in (0.1, 0.25]", snap.P50Millis)
+	}
+	if snap.P99Millis <= 50 || snap.P99Millis > 100 {
+		t.Errorf("p99 = %gms, want in (50, 100]", snap.P99Millis)
+	}
+	var total int64
+	for _, b := range snap.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Errorf("bucket counts sum to %d, want 100", total)
+	}
+	// Without buckets the quantiles still come back, the layout does not.
+	lean := h.Snapshot(false)
+	if lean.Buckets != nil {
+		t.Errorf("Snapshot(false) carried %d buckets", len(lean.Buckets))
+	}
+	if lean.P99Millis != snap.P99Millis {
+		t.Errorf("quantiles drifted between snapshots: %g vs %g", lean.P99Millis, snap.P99Millis)
+	}
+}
+
+// TestHistogramOverflow pins the overflow bucket: observations beyond
+// the last bound are counted, never dropped.
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Minute) // beyond the 60s top bound
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	snap := h.Snapshot(true)
+	last := snap.Buckets[len(snap.Buckets)-1]
+	if last.Count != 1 {
+		t.Fatalf("overflow bucket count = %d, want 1: %+v", last.Count, snap.Buckets)
+	}
+}
+
+// TestRegistryConcurrent is the race sweep the package contract
+// promises: many writers observing requests while snapshotters read,
+// under -race, ending with every route's request counter equal to its
+// histogram count.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := New()
+	routes := []string{"GET /a", "POST /b", "GET /c"}
+	const writers = 8
+	const perWriter = 500
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Weakly consistent mid-flight reads must never fault or go
+				// negative.
+				for _, rs := range reg.Snapshot(true) {
+					if rs.Requests < 0 || rs.Latency.Count < 0 {
+						t.Error("negative counter in mid-flight snapshot")
+						return
+					}
+				}
+				_ = reg.Totals()
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				m := reg.Route(routes[(w+i)%len(routes)])
+				m.begin()
+				m.done(200, 64, time.Millisecond)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	tot := reg.Totals()
+	if want := int64(writers * perWriter); tot.Requests != want {
+		t.Fatalf("total requests = %d, want %d", tot.Requests, want)
+	}
+	if tot.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiescence", tot.InFlight)
+	}
+	for _, rs := range reg.Snapshot(true) {
+		if rs.Requests != rs.Latency.Count {
+			t.Errorf("route %s: requests %d != histogram count %d", rs.Route, rs.Requests, rs.Latency.Count)
+		}
+	}
+}
+
+// TestMiddleware drives the full middleware contract: per-route
+// accounting, 429 rejection counting, the 499 convention for handlers
+// that write nothing, and one parseable log line per request carrying
+// the handler's annotation.
+func TestMiddleware(t *testing.T) {
+	reg := New()
+	var buf bytes.Buffer
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		Annotate(r.Context(), "job-key-1")
+		w.Write([]byte("hello"))
+	})
+	mux.HandleFunc("/reject", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	mux.HandleFunc("/silent", func(w http.ResponseWriter, r *http.Request) {})
+	label := func(r *http.Request) string { return "GET " + r.URL.Path }
+	srv := httptest.NewServer(Middleware(reg, label, NewLogger(&buf), mux))
+	defer srv.Close()
+
+	for _, path := range []string{"/ok", "/ok", "/reject", "/silent"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	ok := reg.Route("GET /ok").Snapshot(true)
+	if ok.Requests != 2 || ok.Latency.Count != 2 || ok.Status["2xx"] != 2 {
+		t.Fatalf("GET /ok snapshot = %+v", ok)
+	}
+	if ok.Bytes != 10 { // two "hello" bodies
+		t.Errorf("GET /ok bytes = %d, want 10", ok.Bytes)
+	}
+	rej := reg.Route("GET /reject").Snapshot(false)
+	if rej.Rejected != 1 || rej.Status["4xx"] != 1 {
+		t.Fatalf("GET /reject snapshot = %+v", rej)
+	}
+	// A handler that never writes is recorded under the 499 convention:
+	// no status class, but still a completed request with latency.
+	sil := reg.Route("GET /silent").Snapshot(false)
+	if sil.Requests != 1 || sil.Latency.Count != 1 {
+		t.Fatalf("GET /silent snapshot = %+v", sil)
+	}
+	if tot := reg.Totals(); tot.Requests != 4 || tot.Rejected != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+
+	var lines []LogEntry
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e LogEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("unparseable log line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("logged %d lines, want 4", len(lines))
+	}
+	annotated := 0
+	for _, e := range lines {
+		if e.Method != "GET" || !strings.HasPrefix(e.Route, "GET /") || e.Time == "" {
+			t.Errorf("incomplete log entry %+v", e)
+		}
+		if e.Key == "job-key-1" {
+			annotated++
+		}
+		if e.Path == "/silent" && e.Status != 499 {
+			t.Errorf("silent handler logged status %d, want 499", e.Status)
+		}
+	}
+	if annotated != 2 {
+		t.Errorf("annotated lines = %d, want 2 (one per /ok request)", annotated)
+	}
+}
+
+// TestAnnotateOutsideMiddleware pins that Annotate is a safe no-op when
+// no middleware installed a slot (handlers under direct test).
+func TestAnnotateOutsideMiddleware(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/x", nil)
+	Annotate(r.Context(), "key") // must not panic
+}
+
+// TestNilLogger pins the nil-Logger contract: NewLogger(nil) is nil and
+// logging through it is a no-op.
+func TestNilLogger(t *testing.T) {
+	l := NewLogger(nil)
+	if l != nil {
+		t.Fatalf("NewLogger(nil) = %v, want nil", l)
+	}
+	l.Log(LogEntry{Method: "GET"}) // must not panic
+}

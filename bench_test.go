@@ -2,11 +2,26 @@ package repro
 
 import (
 	"context"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
+
+// TestMain lets CI and the BENCH harness pin the worker pool from the
+// environment (NNRAND_WORKERS=n), so the same benchmark binary can record a
+// 1/2/4/8-worker trajectory without code changes.
+func TestMain(m *testing.M) {
+	if s := os.Getenv("NNRAND_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			sched.SetWorkers(n)
+		}
+	}
+	os.Exit(m.Run())
+}
 
 // The benchmark suite regenerates every table and figure of the paper, one
 // benchmark per artifact (DESIGN.md §4 maps each ID to the paper). Training

@@ -1,0 +1,63 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/sched"
+
+	"repro/internal/core"
+)
+
+// TestCheckpointBytesInvariantUnderIntraParallelism trains one cell whose
+// kernels all clear the (lowered) intra-op sharding threshold, once on a
+// single worker and once on four, and requires the serialized checkpoints
+// to be byte-for-byte identical: intra-kernel parallelism is a pure
+// wall-clock knob all the way down to the on-disk artifact.
+func TestCheckpointBytesInvariantUnderIntraParallelism(t *testing.T) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	cfg := core.TrainConfig{
+		Model:    func() *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(ds.Classes)) },
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   1,
+		Batch:    32,
+		Schedule: opt.Constant(0.05),
+		Momentum: 0.9,
+		Augment:  data.Augment{Shift: 1, Flip: true},
+		BaseSeed: 20220622,
+	}
+
+	oldWorkers := sched.Workers()
+	device.SetIntraOpThreshold(1) // every kernel shards when workers allow
+	defer func() {
+		device.SetIntraOpThreshold(0)
+		sched.SetWorkers(oldWorkers)
+	}()
+
+	encode := func(workers int) []byte {
+		t.Helper()
+		sched.SetWorkers(workers)
+		res, err := core.RunReplica(context.Background(), cfg, core.AlgoImpl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeResult(&buf, "intra|cell", res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := encode(1)
+	sharded := encode(4)
+	if !bytes.Equal(serial, sharded) {
+		t.Fatalf("checkpoint bytes differ between 1 and 4 workers: %d vs %d bytes", len(serial), len(sharded))
+	}
+}

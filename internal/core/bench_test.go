@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/data"
@@ -9,7 +11,19 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/sched"
 )
+
+// TestMain lets the BENCH harness pin the worker pool from the environment
+// (NNRAND_WORKERS=n) for multi-worker trajectory runs.
+func TestMain(m *testing.M) {
+	if s := os.Getenv("NNRAND_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			sched.SetWorkers(n)
+		}
+	}
+	os.Exit(m.Run())
+}
 
 // BenchmarkTrainingStep measures one forward+backward+update step of the
 // small CNN on each class of simulated part — the wall-clock price of the
@@ -86,6 +100,44 @@ func variantBenchConfig(ds *data.Dataset) TrainConfig {
 		Schedule: opt.Constant(0.01),
 		Momentum: 0.9,
 		BaseSeed: 1,
+	}
+}
+
+// BenchmarkSingleLargeCellIntraGEMM is the scenario intra-kernel
+// parallelism exists for: ONE replica of the deepest network — no
+// replica-granular parallelism available — with kernel sharding off vs on.
+// On a multi-core host the sharded run should scale toward the worker
+// count; outputs are bit-identical either way
+// (TestRunVariantIntraGEMMBitIdentical).
+func BenchmarkSingleLargeCellIntraGEMM(b *testing.B) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	tc := TrainConfig{
+		Model:    func() *nn.Sequential { return models.ResNet18(ds.Classes) },
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   1,
+		Batch:    32,
+		Schedule: opt.Constant(0.01),
+		Momentum: 0.9,
+		BaseSeed: 1,
+	}
+	for _, bc := range []struct {
+		name      string
+		threshold int64
+	}{
+		{"serial", -1},
+		{"sharded", 1 << 18},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			device.SetIntraOpThreshold(bc.threshold)
+			defer device.SetIntraOpThreshold(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunReplica(context.Background(), tc, AlgoImpl, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,11 +2,25 @@ package device
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
+
+// TestMain lets the BENCH harness pin the worker pool from the environment
+// (NNRAND_WORKERS=n) for multi-worker trajectory runs.
+func TestMain(m *testing.M) {
+	if s := os.Getenv("NNRAND_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			sched.SetWorkers(n)
+		}
+	}
+	os.Exit(m.Run())
+}
 
 // Micro-benchmarks for the simulated kernels: the cost of the
 // accumulation-order machinery relative to the plain deterministic path.
@@ -32,6 +46,62 @@ func BenchmarkMatMul(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkMatMulLarge is a GEMM above the intra-op threshold (the
+// single-large-cell regime): 192×512 × 512×512 ≈ 50M element-ops. With
+// NNRAND_WORKERS>1 the sharded variant splits rows across the pool.
+func BenchmarkMatMulLarge(b *testing.B) {
+	a := tensor.New(192, 512)
+	c := tensor.New(512, 512)
+	rng.New(1).FillNorm(a.Data(), 0, 1)
+	rng.New(2).FillNorm(c.Data(), 0, 1)
+	for _, bc := range []struct {
+		name      string
+		threshold int64
+	}{
+		{"serial", -1},
+		{"sharded", 1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			SetIntraOpThreshold(bc.threshold)
+			defer SetIntraOpThreshold(0)
+			dev := New(V100, Default, rng.New(3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dev.MatMul(a, c, false, false)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulIm2Col compares the fused conv-forward GEMM against the
+// materialize-then-multiply path it replaced.
+func BenchmarkMatMulIm2Col(b *testing.B) {
+	g := tensor.ConvGeom{Batch: 32, InC: 16, InH: 8, InW: 8, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := tensor.New(g.Batch, g.InC, g.InH, g.InW)
+	w := tensor.New(g.OutC, g.ColRows())
+	rng.New(8).FillNorm(x.Data(), 0, 1)
+	rng.New(9).FillNorm(w.Data(), 0, 1)
+	b.Run("fused", func(b *testing.B) {
+		dev := New(V100, Default, rng.New(10))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dev.MatMulIm2Col(w, x, g)
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		dev := New(V100, Default, rng.New(10))
+		col := tensor.New(g.ColRows(), g.ColCols())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.Im2Col(x, g, col)
+			dev.MatMul(w, col, false, false)
+		}
+	})
 }
 
 func BenchmarkReduceSum(b *testing.B) {

@@ -27,17 +27,15 @@ func (m Mode) String() string {
 }
 
 // Device executes tensor kernels under a simulated accelerator. It is not
-// safe for concurrent use: training replicas each own a Device.
+// safe for concurrent use by multiple callers — training replicas each own
+// a Device — but a single kernel launch may internally shard its output
+// rows across the sched worker pool (see intra.go); all entropy is drawn
+// before dispatch, so sharding never changes an output bit.
 type Device struct {
 	cfg     Config
 	mode    Mode
 	entropy *rng.Stream
 	kernels int64 // count of kernel launches, for tests/inspection
-
-	// Pack scratch, reused across kernel launches so the per-step transposes
-	// (Dense forward packs Wᵀ, conv backward packs colᵀ) and the Tensor-Core
-	// fp16 pre-rounding stop allocating fresh buffers every call.
-	packA, packB, packFP16 []float32
 }
 
 // New returns a device for the given part. entropy is the hardware-entropy
@@ -55,7 +53,9 @@ func (d *Device) Config() Config { return d.cfg }
 // Mode returns the execution mode.
 func (d *Device) Mode() Mode { return d.mode }
 
-// KernelLaunches returns the number of kernels executed so far.
+// KernelLaunches returns the number of kernels executed so far. Fused and
+// intra-parallel kernels count once per launch, exactly like their serial
+// equivalents, so the count is invariant under the worker budget.
 func (d *Device) KernelLaunches() int64 { return d.kernels }
 
 // nondeterministic reports whether this device perturbs accumulation orders.
@@ -81,6 +81,12 @@ func (d *Device) schedOrder(n int) []int {
 // rounding differences between runs. On Tensor Cores the matmul runs
 // through deterministic systolic tiles with fp16 input truncation. On TPU
 // and in Deterministic mode the order is fixed.
+//
+// Execution is the blocked packed-panel kernel of gemm.go: op(B) is packed
+// one L2-resident panel at a time (a transposed B is transposed during
+// packing, never materialized whole), and large outputs shard their rows
+// across the sched pool. Chunk boundaries and the per-element operation
+// sequence are exactly the reference kernel's (gemm_test.go pins this).
 func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor {
 	d.kernels++
 	am, ak := matDims(a, transA)
@@ -88,78 +94,73 @@ func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 	if ak != bk {
 		panic(fmt.Sprintf("device: MatMul inner dims mismatch: %d vs %d", ak, bk))
 	}
-	ad := d.materialize(a, transA, &d.packA)
-	bd := d.materialize(b, transB, &d.packB)
-
-	if d.cfg.TensorCores {
-		return d.matmulTensorCore(ad, bd, am, ak, bn)
+	ad, scr := materializeA(a, transA)
+	var src panelSource
+	if transB {
+		src = colPanel{data: b.Data(), cols: b.Dim(1)}
+	} else {
+		src = rowPanel{data: b.Data(), ld: bn}
 	}
-
-	out := tensor.New(am, bn)
-	od := out.Data()
-
-	chunks := 1
-	if d.nondeterministic() {
-		chunks = d.cfg.reorderChunks(ak)
-	}
-	order := d.schedOrder(chunks)
-
-	// Blocked ikj matmul: chunk boundaries are fixed; only the order in
-	// which chunk contributions land in C varies. The inner loop is the
-	// register-blocked AXPY kernel — same per-element operation sequence as
-	// the scalar loop, so outputs stay bit-identical (see gemm.go).
-	for ci := 0; ci < chunks; ci++ {
-		c := ci
-		if order != nil {
-			c = order[ci]
-		}
-		kLo := c * ak / chunks
-		kHi := (c + 1) * ak / chunks
-		for i := 0; i < am; i++ {
-			arow := ad[i*ak : (i+1)*ak]
-			crow := od[i*bn : (i+1)*bn]
-			for k := kLo; k < kHi; k++ {
-				av := arow[k]
-				if av == 0 {
-					// Skipping an exact-zero multiplier is the reference
-					// kernel's behaviour too; keep it for bit-identity.
-					continue
-				}
-				axpy(av, bd[k*bn:(k+1)*bn], crow)
-			}
-		}
+	out := d.runGEMM(ad, src, am, ak, bn)
+	if scr != nil {
+		tensor.PutScratch(scr)
 	}
 	return out
 }
 
-// matmulTensorCore runs the matmul through simulated systolic fp16 tiles:
-// inputs are truncated to fp16 precision, products accumulate in fp32 in a
-// fixed tile order. Deterministic — the Tensor Core itself does not inject
-// scheduler noise; nondeterminism on TC parts comes from the CUDA-core
-// fallback kernels (bias, scatter, normalization reductions).
-func (d *Device) matmulTensorCore(ad, bd []float32, m, k, n int) *tensor.Tensor {
+// MatMulIm2Col computes W × im2col(x, g) — the forward convolution GEMM —
+// without ever materializing the column matrix: panels of the im2col
+// expansion are generated straight into pack scratch (tensor.Im2ColPanel).
+// One kernel launch, bit-identical to MatMul over a materialized im2col
+// matrix, matching cuDNN's fused implicit-GEMM convolution.
+func (d *Device) MatMulIm2Col(w, x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+	d.kernels++
+	if w.Rank() != 2 || w.Dim(1) != g.ColRows() {
+		panic(fmt.Sprintf("device: MatMulIm2Col weight must be (OutC, %d), got %v", g.ColRows(), w.Shape()))
+	}
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("device: MatMulIm2Col input must be NCHW, got %v", x.Shape()))
+	}
+	return d.runGEMM(w.Data(), im2colPanel{x: x, g: g}, w.Dim(0), g.ColRows(), g.ColCols())
+}
+
+// MatMulIm2ColT computes A × im2col(x, g)ᵀ — the backward-weights
+// convolution GEMM dW = dy × colᵀ — with the transposed column matrix
+// generated panel by panel (tensor.Im2ColPanelT); neither col nor colᵀ is
+// ever materialized. One kernel launch, bit-identical to the materialized
+// equivalent.
+func (d *Device) MatMulIm2ColT(a, x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+	d.kernels++
+	if a.Rank() != 2 || a.Dim(1) != g.ColCols() {
+		panic(fmt.Sprintf("device: MatMulIm2ColT operand must be (m, %d), got %v", g.ColCols(), a.Shape()))
+	}
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("device: MatMulIm2ColT input must be NCHW, got %v", x.Shape()))
+	}
+	return d.runGEMM(a.Data(), im2colTPanel{x: x, g: g}, a.Dim(0), g.ColCols(), g.ColRows())
+}
+
+// runGEMM resolves the accumulation-order policy (drawing any scheduler
+// entropy BEFORE dispatch), then launches the blocked kernel — serial, or
+// row-sharded over the pool when m·k·n clears the intra-op threshold.
+// Tensor-Core parts run the deterministic fp16 systolic path and draw no
+// entropy, exactly like the reference kernel.
+func (d *Device) runGEMM(ad []float32, src panelSource, m, k, n int) *tensor.Tensor {
 	out := tensor.New(m, n)
-	od := out.Data()
-	// Pack-once fp16 truncation of B: the reference kernel re-rounds every
-	// B element for each of the m output rows; rounding is a pure function
-	// of the element, so pre-rounding the k×n operand once produces the
-	// same multiplicands (and therefore identical products) at 1/m the
-	// rounding work.
-	bh := scratch(&d.packFP16, k*n)
-	for i, v := range bd[:k*n] {
-		bh[i] = fp16Round(v)
+	args := gemmArgs{ad: ad, src: src, od: out.Data(), m: m, k: k, n: n, chunks: 1}
+	if d.cfg.TensorCores {
+		args.fp16 = true
+	} else if d.nondeterministic() {
+		args.chunks = d.cfg.reorderChunks(k)
+		args.order = d.schedOrder(args.chunks)
 	}
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		crow := od[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := fp16Round(arow[kk])
-			if av == 0 {
-				continue
-			}
-			axpy(av, bh[kk*n:(kk+1)*n], crow)
-		}
-	}
+	const minRowsPerShard = 4
+	shards := intraShards(m, int64(m)*int64(k)*int64(n), minRowsPerShard)
+	shardRows(shards, m, func(lo, hi int) {
+		panel := panelScratch(k, n)
+		gemmBlocked(&args, lo, hi, panel)
+		tensor.PutScratch(panel)
+	})
 	return out
 }
 
@@ -173,67 +174,112 @@ func matDims(t *tensor.Tensor, trans bool) (rows, cols int) {
 	return t.Dim(0), t.Dim(1)
 }
 
-// materialize returns t's data, transposed into the given device-owned
-// scratch buffer when op requires it. The buffer is reused across kernel
-// launches — packing cost stays, allocation churn goes.
-func (d *Device) materialize(t *tensor.Tensor, trans bool, buf *[]float32) []float32 {
+// materializeA returns t's data row-major as op(A), transposing into
+// pooled scratch when op requires it. The second return is the scratch to
+// release after the GEMM (nil when t's own storage is used).
+func materializeA(t *tensor.Tensor, trans bool) (data, scr []float32) {
 	if !trans {
-		return t.Data()
+		return t.Data(), nil
 	}
 	r, c := t.Dim(0), t.Dim(1)
-	dst := scratch(buf, r*c)
-	transposeInto(dst, t.Data(), r, c)
-	return dst
+	buf := tensor.GetScratch(r * c)
+	transposeInto(buf, t.Data(), r, c)
+	return buf, buf
+}
+
+// scratchSlice grows dst to n elements, reusing its backing array when
+// possible. Contents are unspecified; callers overwrite.
+func scratchSlice(dst []float32, n int) []float32 {
+	if cap(dst) < n {
+		return make([]float32, n)
+	}
+	return dst[:n]
 }
 
 // SumRows reduces an (rows × cols) matrix over its columns, producing one
 // float32 per row (bias gradients, per-channel statistics). The reduction
-// runs through scheduler-ordered chunks in Default mode.
-func (d *Device) SumRows(m *tensor.Tensor) []float32 {
+// runs through scheduler-ordered chunks in Default mode. Allocates a fresh
+// output; hot paths should use SumRowsInto with a reused buffer.
+func (d *Device) SumRows(m *tensor.Tensor) []float32 { return d.SumRowsInto(m, nil) }
+
+// SumRowsInto is SumRows writing into dst (grown as needed, returned).
+// Rows reduce independently, so large reductions shard rows across the
+// pool; every row's chunk order is drawn before dispatch, in row order, so
+// the entropy stream sees exactly the serial draw sequence.
+func (d *Device) SumRowsInto(m *tensor.Tensor, dst []float32) []float32 {
 	d.kernels++
 	if m.Rank() != 2 {
 		panic(fmt.Sprintf("device: SumRows requires rank 2, got %v", m.Shape()))
 	}
 	rows, cols := m.Dim(0), m.Dim(1)
-	out := make([]float32, rows)
+	out := scratchSlice(dst, rows)
 	chunks := 1
 	if d.nondeterministic() {
 		chunks = d.cfg.reorderChunks(cols)
 	}
-	data := m.Data()
-	for r := 0; r < rows; r++ {
-		out[r] = d.reduceChunked(data[r*cols:(r+1)*cols], chunks)
+	var orders [][]int
+	if chunks > 1 {
+		orders = make([][]int, rows)
+		for r := range orders {
+			orders[r] = d.schedOrder(chunks)
+		}
 	}
+	data := m.Data()
+	const minRowsPerShard = 8
+	shards := intraShards(rows, int64(rows)*int64(cols), minRowsPerShard)
+	shardRows(shards, rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var order []int
+			if orders != nil {
+				order = orders[r]
+			}
+			out[r] = reduceChunkedOrder(data[r*cols:(r+1)*cols], chunks, order)
+		}
+	})
 	return out
 }
 
 // SumCols reduces an (rows × cols) matrix over its rows, producing one
 // float32 per column. The per-column reduction over rows runs through
-// scheduler-ordered chunks in Default mode.
-func (d *Device) SumCols(m *tensor.Tensor) []float32 {
+// scheduler-ordered chunks in Default mode. Allocates a fresh output; hot
+// paths should use SumColsInto with a reused buffer.
+func (d *Device) SumCols(m *tensor.Tensor) []float32 { return d.SumColsInto(m, nil) }
+
+// SumColsInto is SumCols writing into dst (grown as needed, returned).
+// Columns accumulate independently in the same chunk order, so large
+// reductions shard the column range across the pool after the single
+// scheduler draw.
+func (d *Device) SumColsInto(m *tensor.Tensor, dst []float32) []float32 {
 	d.kernels++
 	if m.Rank() != 2 {
 		panic(fmt.Sprintf("device: SumCols requires rank 2, got %v", m.Shape()))
 	}
 	rows, cols := m.Dim(0), m.Dim(1)
-	out := make([]float32, cols)
+	out := scratchSlice(dst, cols)
+	for i := range out {
+		out[i] = 0
+	}
 	chunks := 1
 	if d.nondeterministic() {
 		chunks = d.cfg.reorderChunks(rows)
 	}
 	order := d.schedOrder(chunks)
 	data := m.Data()
-	for ci := 0; ci < chunks; ci++ {
-		c := ci
-		if order != nil {
-			c = order[ci]
+	const minColsPerShard = 64
+	shards := intraShards(cols, int64(rows)*int64(cols), minColsPerShard)
+	shardRows(shards, cols, func(jLo, jHi int) {
+		for ci := 0; ci < chunks; ci++ {
+			c := ci
+			if order != nil {
+				c = order[ci]
+			}
+			lo := c * rows / chunks
+			hi := (c + 1) * rows / chunks
+			for r := lo; r < hi; r++ {
+				vadd(data[r*cols+jLo:r*cols+jHi], out[jLo:jHi])
+			}
 		}
-		lo := c * rows / chunks
-		hi := (c + 1) * rows / chunks
-		for r := lo; r < hi; r++ {
-			vadd(data[r*cols:(r+1)*cols], out)
-		}
-	}
+	})
 	return out
 }
 
@@ -245,10 +291,12 @@ func (d *Device) ReduceSum(xs []float32) float32 {
 	if d.nondeterministic() {
 		chunks = d.cfg.reorderChunks(len(xs))
 	}
-	return d.reduceChunked(xs, chunks)
+	return reduceChunkedOrder(xs, chunks, d.schedOrder(chunks))
 }
 
-func (d *Device) reduceChunked(xs []float32, chunks int) float32 {
+// reduceChunkedOrder sums xs through the given chunk commit order (nil =
+// ascending), rounding each chunk's partial independently.
+func reduceChunkedOrder(xs []float32, chunks int, order []int) float32 {
 	if chunks <= 1 {
 		var s float32
 		for _, v := range xs {
@@ -256,7 +304,6 @@ func (d *Device) reduceChunked(xs []float32, chunks int) float32 {
 		}
 		return s
 	}
-	order := d.schedOrder(chunks)
 	var s float32
 	for ci := 0; ci < chunks; ci++ {
 		c := ci
@@ -278,7 +325,8 @@ func (d *Device) reduceChunked(xs []float32, chunks int) float32 {
 // overlapping windows — the simulated analogue of cuDNN's atomicAdd-based
 // backward-data kernels. In Default mode the per-kernel-offset scatter
 // order is drawn from the scheduler; overlapping float32 adds then round
-// differently between runs. dst must be zeroed by the caller.
+// differently between runs. dst must be zeroed by the caller. The scatter
+// stays serial: overlapping destinations make row sharding order-unsafe.
 func (d *Device) Col2Im(col *tensor.Tensor, g tensor.ConvGeom, dst *tensor.Tensor) {
 	d.kernels++
 	var order []int

@@ -1,0 +1,94 @@
+package device
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Intra-kernel parallelism. Replica- and cell-granular parallelism cannot
+// help a single large cell: one replica's kernels used to run on one
+// goroutine no matter how many cores sat idle (ROADMAP item 1). Kernels
+// whose output rows are independent — GEMM C rows, SumRows rows, SumCols
+// columns — therefore shard their output dimension across the sched worker
+// pool when the kernel is large enough to amortize dispatch.
+//
+// Why sharding provably cannot move a bit: each output element is owned by
+// exactly one shard, and a shard executes the identical per-element
+// accumulation sequence the serial kernel would (scheduler-chunk order,
+// ascending k within a chunk). All scheduler entropy is drawn BEFORE
+// dispatch, on the caller's goroutine, so the entropy stream's state never
+// depends on worker interleaving. Shards write disjoint index ranges of
+// the output and share only read-only inputs; each GEMM shard packs its
+// own panels into private pooled scratch.
+//
+// Nested-dispatch deadlock cannot occur: sched.ForEach's calling goroutine
+// always participates in its own work and helpers are bounded by the
+// pool's global token budget, so a kernel dispatched from inside a replica
+// (itself a pool work item) simply runs inline when the budget is spent —
+// which is exactly the regime where replica-granular parallelism already
+// saturates the cores.
+
+// DefaultIntraOpThreshold is the default minimum kernel size — measured in
+// element operations (m·k·n for GEMM, rows·cols for reductions) — above
+// which a kernel shards across the worker pool. Below it, dispatch
+// overhead outweighs the win.
+const DefaultIntraOpThreshold = 1 << 21
+
+// intraOpThreshold holds the active threshold: 0 means "use the default",
+// negative disables intra-kernel parallelism entirely.
+var intraOpThreshold atomic.Int64
+
+// SetIntraOpThreshold overrides the intra-kernel parallelism threshold
+// (the `-intra-gemm` CLI flag). n == 0 restores DefaultIntraOpThreshold;
+// n < 0 disables intra-kernel sharding. Safe for concurrent use; a purely
+// wall-clock knob that cannot change any output bit.
+func SetIntraOpThreshold(n int64) { intraOpThreshold.Store(n) }
+
+// IntraOpThreshold returns the effective threshold (< 0 when disabled).
+func IntraOpThreshold() int64 {
+	if v := intraOpThreshold.Load(); v != 0 {
+		return v
+	}
+	return DefaultIntraOpThreshold
+}
+
+// intraShards decides how many shards a kernel with the given output rows
+// and total element-op count splits into. Returns 1 (run serial) unless
+// the kernel clears the threshold, the pool has more than one worker, and
+// every shard would own at least minRows rows.
+func intraShards(rows int, work int64, minRows int) int {
+	t := IntraOpThreshold()
+	if t < 0 || work < t {
+		return 1
+	}
+	w := sched.Workers()
+	if w <= 1 {
+		return 1
+	}
+	s := rows / minRows
+	if s > w {
+		s = w
+	}
+	if s < 2 {
+		return 1
+	}
+	return s
+}
+
+// shardRows runs body(lo, hi) over [0, rows) split into the given number
+// of contiguous shards, on the sched pool. body must only write state
+// owned by its row range. With one shard it runs inline.
+func shardRows(shards, rows int, body func(lo, hi int)) {
+	if shards <= 1 {
+		body(0, rows)
+		return
+	}
+	// body never errors and ctx is never cancelled, so ForEach's only exit
+	// is completion; a panic propagates as *sched.PanicError.
+	_ = sched.ForEach(context.Background(), shards, func(s int) error {
+		body(s*rows/shards, (s+1)*rows/shards)
+		return nil
+	})
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestMain lets CI and the BENCH harness pin the worker pool from the
+// environment (NNRAND_WORKERS=n) — in particular so the golden-artifact
+// suite can assert byte-identical output at several worker counts.
+func TestMain(m *testing.M) {
+	if s := os.Getenv("NNRAND_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			sched.SetWorkers(n)
+		}
+	}
+	os.Exit(m.Run())
+}

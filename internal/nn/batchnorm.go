@@ -24,10 +24,20 @@ type BatchNorm struct {
 	runMean     []float32
 	runVar      []float32
 
-	// Cached forward state for backward.
+	// Cached forward state for backward. lastXHat is backed by xhatBuf,
+	// reused across steps; it never escapes the layer.
 	lastXHat   *tensor.Tensor
 	lastInvStd []float32
 	lastShape  []int
+	xhatBuf    []float32
+
+	// Reduction buffers reused across steps. sumDyBuf and sumDyXBuf are
+	// distinct because backward holds both reductions live at once.
+	meanBuf   []float32
+	varBuf    []float32
+	sumBuf    []float32
+	sumDyBuf  []float32
+	sumDyXBuf []float32
 }
 
 // NewBatchNorm builds a batch-normalization layer over c channels.
@@ -58,11 +68,12 @@ func (b *BatchNorm) Init(*rng.Stream) {
 	}
 }
 
-// channelMajor copies an NCHW tensor into a (C, N*H*W) matrix.
-func channelMajor(x *tensor.Tensor) *tensor.Tensor {
+// channelMajor copies an NCHW tensor into a (C, N*H*W) matrix backed by the
+// caller-supplied scratch (every element is overwritten).
+func channelMajor(x *tensor.Tensor, scr []float32) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hw := h * w
-	out := tensor.New(c, n*hw)
+	out := tensor.FromSlice(scr[:n*c*hw], c, n*hw)
 	xd, od := x.Data(), out.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -84,11 +95,14 @@ func (b *BatchNorm) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 
 	var mean, variance []float32
 	if train {
-		// Batch statistics via device reductions (order-sensitive).
-		xc := channelMajor(x)
-		sums := dev.SumRows(xc)
-		mean = make([]float32, c)
-		for i, s := range sums {
+		// Batch statistics via device reductions (order-sensitive). The
+		// channel-major temporary is pooled scratch, dead by return.
+		scr := tensor.GetScratch(n * c * h * w)
+		xc := channelMajor(x, scr)
+		b.sumBuf = dev.SumRowsInto(xc, b.sumBuf)
+		b.meanBuf = scratchFloats(b.meanBuf, c)
+		mean = b.meanBuf
+		for i, s := range b.sumBuf[:c] {
 			mean[i] = s / m
 		}
 		// E[(x-mean)^2] per channel.
@@ -103,9 +117,11 @@ func (b *BatchNorm) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 				row[i] = d * d
 			}
 		}
-		sqSums := dev.SumRows(sq)
-		variance = make([]float32, c)
-		for i, s := range sqSums {
+		b.sumBuf = dev.SumRowsInto(sq, b.sumBuf) // sums dead; reuse buffer
+		tensor.PutScratch(scr)
+		b.varBuf = scratchFloats(b.varBuf, c)
+		variance = b.varBuf
+		for i, s := range b.sumBuf[:c] {
 			variance[i] = s / m
 		}
 		// Update running stats.
@@ -117,13 +133,15 @@ func (b *BatchNorm) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 		mean, variance = b.runMean, b.runVar
 	}
 
-	invStd := make([]float32, c)
+	b.lastInvStd = scratchFloats(b.lastInvStd, c)
+	invStd := b.lastInvStd
 	for i := range invStd {
 		invStd[i] = 1 / float32(math.Sqrt(float64(variance[i]+b.eps)))
 	}
 
 	out := tensor.New(n, c, h, w)
-	xhat := tensor.New(n, c, h, w)
+	b.xhatBuf = scratchFloats(b.xhatBuf, n*c*h*w)
+	xhat := tensor.FromSlice(b.xhatBuf, n, c, h, w)
 	xd, od, hd := x.Data(), out.Data(), xhat.Data()
 	gd, bd := b.Gamma.Value.Data(), b.Beta.Value.Data()
 	hw := h * w
@@ -140,7 +158,6 @@ func (b *BatchNorm) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 	}
 	if train {
 		b.lastXHat = xhat
-		b.lastInvStd = invStd
 		b.lastShape = append(b.lastShape[:0], x.Shape()...)
 	} else {
 		b.lastXHat = nil
@@ -157,13 +174,18 @@ func (b *BatchNorm) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tens
 	hw := h * w
 	m := float32(n * hw)
 
-	// Per-channel reductions: sum(dy) and sum(dy * xhat).
-	dyC := channelMajor(dy)
-	prod := dyC.Clone()
-	xhatC := channelMajor(b.lastXHat)
-	prod.MulElem(xhatC)
-	sumDy := dev.SumRows(dyC)
-	sumDyXhat := dev.SumRows(prod)
+	// Per-channel reductions: sum(dy) and sum(dy * xhat). Both channel-major
+	// temporaries are pooled scratch, released after the reductions.
+	dyScr := tensor.GetScratch(n * c * hw)
+	dyC := channelMajor(dy, dyScr)
+	prodScr := tensor.GetScratch(n * c * hw)
+	prod := channelMajor(b.lastXHat, prodScr)
+	prod.MulElem(dyC)
+	b.sumDyBuf = dev.SumRowsInto(dyC, b.sumDyBuf)
+	b.sumDyXBuf = dev.SumRowsInto(prod, b.sumDyXBuf)
+	sumDy, sumDyXhat := b.sumDyBuf, b.sumDyXBuf
+	tensor.PutScratch(dyScr)
+	tensor.PutScratch(prodScr)
 
 	// Parameter gradients.
 	gg, bg := b.Gamma.Grad.Data(), b.Beta.Grad.Data()
@@ -188,6 +210,15 @@ func (b *BatchNorm) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tens
 	}
 	b.lastXHat = nil
 	return dx
+}
+
+// scratchFloats grows a layer-owned float buffer to length n, reusing its
+// backing array when possible. Contents are unspecified.
+func scratchFloats(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
 }
 
 // RunningStats exposes the running mean and variance (for tests).

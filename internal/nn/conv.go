@@ -10,24 +10,26 @@ import (
 
 // Conv2D is a 2-D convolution in NCHW layout, lowered to GEMM via im2col —
 // the same lowering cuDNN's implicit-GEMM algorithms use. The weight is
-// stored as (OutC, InC*KH*KW); bias is per output channel.
+// stored as (OutC, InC*KH*KW); bias is per output channel. The column
+// matrix is never materialized: forward and backward-weights GEMMs generate
+// im2col panels directly into the device's pack scratch
+// (device.MatMulIm2Col / MatMulIm2ColT), which is safe because no layer
+// mutates a produced activation, so the retained input x still holds the
+// forward values at backward time.
 type Conv2D struct {
 	name                string
 	inC, outC           int
 	kh, kw, stride, pad int
 	W, B                *Param
-	lastCol             *tensor.Tensor  // cached im2col matrix
+	lastX               *tensor.Tensor  // input retained for backward-weights
 	lastGeom            tensor.ConvGeom // geometry of the last forward
 	haveForward         bool
 
-	// Scratch backing storage reused across training steps: the im2col
-	// matrix (the largest allocation in the network) and the backward-data
-	// output. Both are fully overwritten each use — Im2Col writes every
-	// element including padding zeros, and dx is zeroed before the col2im
-	// scatter — and neither escapes the step: downstream layers never
-	// retain gradient tensors, only forward activations.
-	colBuf []float32
-	dxBuf  []float32
+	// Scratch reused across training steps. dxBuf backs the backward-data
+	// output and must stay layer-owned: the returned gradient aliases it
+	// until the caller consumes it. dbBuf holds the bias-gradient reduction.
+	dxBuf []float32
+	dbBuf []float32
 }
 
 // NewConv2D builds a convolution layer. kernel is the (square) filter size.
@@ -75,17 +77,12 @@ func (c *Conv2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tens
 	if err := g.Validate(); err != nil {
 		panic(err)
 	}
-	rows, cols := g.ColRows(), g.ColCols()
-	if cap(c.colBuf) < rows*cols {
-		c.colBuf = make([]float32, rows*cols)
-	}
-	col := tensor.FromSlice(c.colBuf[:rows*cols], rows, cols)
-	tensor.Im2Col(x, g, col)
-	// yMat: (OutC, N*OH*OW)
-	yMat := dev.MatMul(c.W.Value, col, false, false)
+	// yMat: (OutC, N*OH*OW) = W × im2col(x), with the column matrix
+	// generated panel-by-panel inside the kernel.
+	yMat := dev.MatMulIm2Col(c.W.Value, x, g)
 	addBiasRows(yMat, c.B.Value.Data())
 
-	c.lastCol, c.lastGeom, c.haveForward = col, g, true
+	c.lastX, c.lastGeom, c.haveForward = x, g, true
 	return matToNCHW(yMat, g)
 }
 
@@ -95,19 +92,22 @@ func (c *Conv2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor 
 		panic(fmt.Sprintf("nn: Conv2D %s Backward before Forward", c.name))
 	}
 	g := c.lastGeom
-	dyMat := nchwToMat(dy, g) // (OutC, N*OH*OW)
+	dyScr := tensor.GetScratch(g.OutC * g.ColCols())
+	dyMat := nchwToMat(dy, g, dyScr) // (OutC, N*OH*OW)
 
-	// dW = dyMat × col^T; dB = row sums of dyMat.
-	dW := dev.MatMul(dyMat, c.lastCol, false, true)
+	// dW = dyMat × im2col(x)^T (fused, colᵀ never materialized);
+	// dB = row sums of dyMat.
+	dW := dev.MatMulIm2ColT(dyMat, c.lastX, g)
 	c.W.Grad.Add(dW)
-	db := dev.SumRows(dyMat)
+	c.dbBuf = dev.SumRowsInto(dyMat, c.dbBuf)
 	bg := c.B.Grad.Data()
-	for i, v := range db {
+	for i, v := range c.dbBuf {
 		bg[i] += v
 	}
 
 	// dcol = W^T × dyMat, then scatter back to image space (atomicAdd sim).
 	dcol := dev.MatMul(c.W.Value, dyMat, true, false)
+	tensor.PutScratch(dyScr)
 	n := g.Batch * g.InC * g.InH * g.InW
 	if cap(c.dxBuf) < n {
 		c.dxBuf = make([]float32, n)
@@ -115,7 +115,7 @@ func (c *Conv2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor 
 	dx := tensor.FromSlice(c.dxBuf[:n], g.Batch, g.InC, g.InH, g.InW)
 	dx.Zero() // Col2Im accumulates; the scratch holds last step's values
 	dev.Col2Im(dcol, g, dx)
-	c.haveForward = false
+	c.lastX, c.haveForward = nil, false
 	return dx
 }
 
@@ -149,11 +149,11 @@ func matToNCHW(m *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 }
 
 // nchwToMat reorders (N, OutC, OH, OW) gradients into GEMM layout
-// (OutC, N*OH*OW).
-func nchwToMat(t *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+// (OutC, N*OH*OW), backed by the caller-supplied scratch.
+func nchwToMat(t *tensor.Tensor, g tensor.ConvGeom, scr []float32) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	hw := outH * outW
-	out := tensor.New(g.OutC, g.Batch*hw)
+	out := tensor.FromSlice(scr[:g.OutC*g.Batch*hw], g.OutC, g.Batch*hw)
 	td, od := t.Data(), out.Data()
 	for n := 0; n < g.Batch; n++ {
 		for c := 0; c < g.OutC; c++ {

@@ -14,6 +14,7 @@ type Dense struct {
 	in, out int
 	W, B    *Param
 	lastX   *tensor.Tensor
+	dbBuf   []float32 // bias-gradient reduction, reused across steps
 }
 
 // NewDense builds a fully connected layer.
@@ -65,9 +66,9 @@ func (d *Dense) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
 	// dW = dyᵀ × x, dB = column sums of dy, dx = dy × W.
 	dW := dev.MatMul(dy, d.lastX, true, false)
 	d.W.Grad.Add(dW)
-	db := dev.SumCols(dy)
+	d.dbBuf = dev.SumColsInto(dy, d.dbBuf)
 	bg := d.B.Grad.Data()
-	for i, v := range db {
+	for i, v := range d.dbBuf {
 		bg[i] += v
 	}
 	dx := dev.MatMul(dy, d.W.Value, false, false)

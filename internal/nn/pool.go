@@ -92,6 +92,7 @@ func (p *MaxPool2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tens
 type GlobalAvgPool struct {
 	name      string
 	lastShape []int
+	sumBuf    []float32 // spatial-sum reduction, reused across steps
 }
 
 // NewGlobalAvgPool builds a global average pooling layer.
@@ -114,7 +115,8 @@ func (p *GlobalAvgPool) Forward(dev *device.Device, x *tensor.Tensor, train bool
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.lastShape = append(p.lastShape[:0], x.Shape()...)
 	// (N*C, H*W) view shares storage; SumRows reduces each channel map.
-	sums := dev.SumRows(x.Reshape(n*c, h*w))
+	p.sumBuf = dev.SumRowsInto(x.Reshape(n*c, h*w), p.sumBuf)
+	sums := p.sumBuf
 	out := tensor.New(n, c)
 	od := out.Data()
 	inv := 1 / float32(h*w)

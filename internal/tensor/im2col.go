@@ -43,38 +43,118 @@ func (g ConvGeom) Validate() error {
 // convolution becomes a single matmul: W(OutC, C*KH*KW) × col. Padding
 // contributes zeros. The expansion itself involves no reductions, so it is
 // deterministic regardless of device mode.
+//
+// The full expansion is now a single maximal panel of Im2ColPanel, the
+// tile-granular form the device's packed-panel GEMM fuses with operand
+// packing (DESIGN.md §14); conv layers no longer materialize this matrix
+// on the hot path, but the whole-matrix form remains the reference the
+// fused kernels are tested against.
 func Im2Col(in *Tensor, g ConvGeom, dst *Tensor) {
+	Im2ColPanel(in, g, 0, g.ColRows(), 0, g.ColCols(), dst.Data())
+}
+
+// Im2ColPanel writes the [rLo,rHi) × [jLo,jHi) sub-block of the im2col
+// matrix into dst, row-major with row stride jHi-jLo. Rows index kernel
+// positions (c, kh, kw); columns index output positions (n, oh, ow). The
+// values are exactly the ones Im2Col would place at the same coordinates —
+// pure copies of input elements (or padding zeros), so a GEMM that packs
+// its B-operand panels through this function consumes bit-identical
+// multiplicands without the full column matrix ever existing.
+func Im2ColPanel(in *Tensor, g ConvGeom, rLo, rHi, jLo, jHi int, dst []float32) {
 	outH, outW := g.OutH(), g.OutW()
-	cols := g.ColCols()
+	w := jHi - jLo
 	id := in.Data()
-	dd := dst.Data()
-	for c := 0; c < g.InC; c++ {
-		for kh := 0; kh < g.KH; kh++ {
-			for kw := 0; kw < g.KW; kw++ {
-				row := (c*g.KH+kh)*g.KW + kw
-				base := row * cols
-				for n := 0; n < g.Batch; n++ {
-					inBase := (n*g.InC + c) * g.InH * g.InW
-					for oh := 0; oh < outH; oh++ {
-						ih := oh*g.Stride + kh - g.Pad
-						dstBase := base + (n*outH+oh)*outW
-						if ih < 0 || ih >= g.InH {
-							for ow := 0; ow < outW; ow++ {
-								dd[dstBase+ow] = 0
-							}
-							continue
-						}
-						rowBase := inBase + ih*g.InW
-						for ow := 0; ow < outW; ow++ {
-							iw := ow*g.Stride + kw - g.Pad
-							if iw < 0 || iw >= g.InW {
-								dd[dstBase+ow] = 0
-							} else {
-								dd[dstBase+ow] = id[rowBase+iw]
-							}
-						}
+	// Kernel-position counters for row r, advanced incrementally to keep
+	// div/mod out of the per-row loop.
+	kw := rLo % g.KW
+	kh := (rLo / g.KW) % g.KH
+	c := rLo / (g.KW * g.KH)
+	for r := rLo; r < rHi; r++ {
+		drow := dst[(r-rLo)*w : (r-rLo)*w+w]
+		// Walk the column range as runs of contiguous ow within one (n, oh).
+		j := jLo
+		for j < jHi {
+			n := j / (outH * outW)
+			rem := j - n*outH*outW
+			oh := rem / outW
+			ow := rem - oh*outW
+			run := outW - ow
+			if j+run > jHi {
+				run = jHi - j
+			}
+			seg := drow[j-jLo : j-jLo+run]
+			ih := oh*g.Stride + kh - g.Pad
+			if ih < 0 || ih >= g.InH {
+				for i := range seg {
+					seg[i] = 0
+				}
+			} else {
+				rowBase := (n*g.InC+c)*g.InH*g.InW + ih*g.InW
+				for i := range seg {
+					iw := (ow+i)*g.Stride + kw - g.Pad
+					if iw < 0 || iw >= g.InW {
+						seg[i] = 0
+					} else {
+						seg[i] = id[rowBase+iw]
 					}
 				}
+			}
+			j += run
+		}
+		if kw++; kw == g.KW {
+			kw = 0
+			if kh++; kh == g.KH {
+				kh = 0
+				c++
+			}
+		}
+	}
+}
+
+// Im2ColPanelT writes the [jLo,jHi) × [rLo,rHi) sub-block of the
+// TRANSPOSED im2col matrix into dst, row-major with row stride rHi-rLo:
+// rows index output positions j, columns index kernel positions r. This is
+// the panel shape the backward-weights GEMM (dW = dy × colᵀ) packs, again
+// without materializing either col or its transpose.
+func Im2ColPanelT(in *Tensor, g ConvGeom, jLo, jHi, rLo, rHi int, dst []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	w := rHi - rLo
+	id := in.Data()
+	// Output-position counters for column j, advanced incrementally.
+	n := jLo / (outH * outW)
+	rem := jLo - n*outH*outW
+	oh := rem / outW
+	ow := rem - oh*outW
+	kw0 := rLo % g.KW
+	kh0 := (rLo / g.KW) % g.KH
+	c0 := rLo / (g.KW * g.KH)
+	for j := jLo; j < jHi; j++ {
+		drow := dst[(j-jLo)*w : (j-jLo)*w+w]
+		inBase := n * g.InC * g.InH * g.InW
+		ihBase := oh*g.Stride - g.Pad
+		iwBase := ow*g.Stride - g.Pad
+		kw, kh, c := kw0, kh0, c0
+		for i := range drow {
+			ih := ihBase + kh
+			iw := iwBase + kw
+			if ih < 0 || ih >= g.InH || iw < 0 || iw >= g.InW {
+				drow[i] = 0
+			} else {
+				drow[i] = id[inBase+(c*g.InH+ih)*g.InW+iw]
+			}
+			if kw++; kw == g.KW {
+				kw = 0
+				if kh++; kh == g.KH {
+					kh = 0
+					c++
+				}
+			}
+		}
+		if ow++; ow == outW {
+			ow = 0
+			if oh++; oh == outH {
+				oh = 0
+				n++
 			}
 		}
 	}

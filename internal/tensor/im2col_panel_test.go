@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func panelGeoms() []ConvGeom {
+	return []ConvGeom{
+		{Batch: 2, InC: 3, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{Batch: 1, InC: 2, InH: 5, InW: 7, OutC: 2, KH: 3, KW: 3, Stride: 2, Pad: 0},
+		{Batch: 3, InC: 1, InH: 9, InW: 6, OutC: 2, KH: 2, KW: 3, Stride: 2, Pad: 1},
+		{Batch: 1, InC: 2, InH: 4, InW: 4, OutC: 2, KH: 1, KW: 1, Stride: 1, Pad: 0},
+	}
+}
+
+func randImage(g ConvGeom, seed uint64) *Tensor {
+	x := New(g.Batch, g.InC, g.InH, g.InW)
+	s := rng.New(seed)
+	d := x.Data()
+	for i := range d {
+		d[i] = float32(s.Norm())
+	}
+	return x
+}
+
+// TestIm2ColPanelMatchesFull slices random sub-rectangles out of the full
+// im2col matrix and checks Im2ColPanel reproduces them exactly — the
+// property the fused GEMM pack path relies on.
+func TestIm2ColPanelMatchesFull(t *testing.T) {
+	for gi, g := range panelGeoms() {
+		x := randImage(g, uint64(gi+1))
+		rows, cols := g.ColRows(), g.ColCols()
+		full := New(rows, cols)
+		Im2Col(x, g, full)
+		fd := full.Data()
+
+		s := rng.New(uint64(50 + gi))
+		for trial := 0; trial < 40; trial++ {
+			rLo := s.Intn(rows)
+			rHi := rLo + 1 + s.Intn(rows-rLo)
+			jLo := s.Intn(cols)
+			jHi := jLo + 1 + s.Intn(cols-jLo)
+			w := jHi - jLo
+			dst := make([]float32, (rHi-rLo)*w)
+			for i := range dst {
+				dst[i] = -12345 // poison: every element must be overwritten
+			}
+			Im2ColPanel(x, g, rLo, rHi, jLo, jHi, dst)
+			for r := rLo; r < rHi; r++ {
+				for j := jLo; j < jHi; j++ {
+					if got, want := dst[(r-rLo)*w+(j-jLo)], fd[r*cols+j]; got != want {
+						t.Fatalf("geom %d panel r=[%d,%d) j=[%d,%d): [%d][%d] = %v, want %v",
+							gi, rLo, rHi, jLo, jHi, r, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIm2ColPanelTMatchesFull does the same for the transposed panels the
+// backward-weights GEMM packs.
+func TestIm2ColPanelTMatchesFull(t *testing.T) {
+	for gi, g := range panelGeoms() {
+		x := randImage(g, uint64(gi+1))
+		rows, cols := g.ColRows(), g.ColCols()
+		full := New(rows, cols)
+		Im2Col(x, g, full)
+		fd := full.Data()
+
+		s := rng.New(uint64(90 + gi))
+		for trial := 0; trial < 40; trial++ {
+			jLo := s.Intn(cols)
+			jHi := jLo + 1 + s.Intn(cols-jLo)
+			rLo := s.Intn(rows)
+			rHi := rLo + 1 + s.Intn(rows-rLo)
+			w := rHi - rLo
+			dst := make([]float32, (jHi-jLo)*w)
+			for i := range dst {
+				dst[i] = -12345
+			}
+			Im2ColPanelT(x, g, jLo, jHi, rLo, rHi, dst)
+			for j := jLo; j < jHi; j++ {
+				for r := rLo; r < rHi; r++ {
+					if got, want := dst[(j-jLo)*w+(r-rLo)], fd[r*cols+j]; got != want {
+						t.Fatalf("geom %d panelT j=[%d,%d) r=[%d,%d): [%d][%d] = %v, want %v",
+							gi, jLo, jHi, rLo, rHi, j, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchPool exercises the bucketed pool: a Get after Put of the same
+// size class reuses the buffer, lengths are exact, and foreign buffers are
+// rejected rather than filed.
+func TestScratchPool(t *testing.T) {
+	s := GetScratch(1000)
+	if len(s) != 1000 || cap(s) != 1024 {
+		t.Fatalf("GetScratch(1000): len=%d cap=%d, want 1000/1024", len(s), cap(s))
+	}
+	PutScratch(s)
+	s2 := GetScratch(600) // same bucket (513..1024)
+	if cap(s2) != 1024 {
+		t.Fatalf("pooled buffer not reused: cap=%d", cap(s2))
+	}
+	if GetScratch(0) != nil {
+		t.Fatal("GetScratch(0) should be nil")
+	}
+	PutScratch(make([]float32, 3)) // non-power-of-two cap: dropped, no panic
+}

@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch pool: size-bucketed, sync.Pool-backed float32 buffers shared by
+// every training step in the process. The GEMM pack panels, the conv
+// backward column matrices and the batch-norm channel-major temporaries all
+// live exactly as long as one kernel or one layer call; routing them
+// through a shared pool means a population of replicas recycles a handful
+// of buffers instead of each layer holding (or worse, reallocating) its
+// own copy of the largest tensors in the network. sync.Pool keeps the
+// buffers GC-visible, so memory pressure can always reclaim them.
+//
+// Buffers are bucketed by ceil(log2(size)) so a Get never returns less
+// than asked for and never wastes more than 2× the request. Contents are
+// unspecified; callers must fully overwrite (or explicitly zero) what they
+// use. Returning a buffer to the wrong bucket is impossible — PutScratch
+// re-derives the bucket from the buffer's capacity.
+
+// scratchBuckets covers sizes up to 2^31 floats; index i holds buffers
+// with capacity exactly 2^i.
+var scratchBuckets [32]sync.Pool
+
+// bucketFor returns the bucket index whose buffers hold at least n floats.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetScratch returns a float32 buffer of length n from the shared pool,
+// allocating a fresh power-of-two-capacity buffer on a pool miss. Contents
+// are unspecified.
+func GetScratch(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	idx := bucketFor(n)
+	if v := scratchBuckets[idx].Get(); v != nil {
+		return (*v.(*[]float32))[:n]
+	}
+	return make([]float32, n, 1<<idx)
+}
+
+// PutScratch returns a buffer obtained from GetScratch to the pool. Buffers
+// whose capacity is not an exact power of two (i.e. not pool-born) are
+// dropped rather than filed in a bucket they would under-serve.
+func PutScratch(s []float32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	s = s[:c]
+	scratchBuckets[bucketFor(c)].Put(&s)
+}

@@ -1,0 +1,56 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+
+	"repro/internal/core"
+)
+
+// TestCheckpointBytesInvariantUnderPrefetch trains one cell with the
+// loader's background batch assembly on and then off and requires the
+// serialized checkpoints to be byte-for-byte identical: the prefetch
+// goroutine, like intra-op parallelism, is a pure wall-clock knob all the
+// way down to the on-disk artifact.
+func TestCheckpointBytesInvariantUnderPrefetch(t *testing.T) {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	cfg := core.TrainConfig{
+		Model:    func() *nn.Sequential { return models.SmallCNN(models.DefaultSmallCNN(ds.Classes)) },
+		Dataset:  ds,
+		Device:   device.V100,
+		Epochs:   1,
+		Batch:    32,
+		Schedule: opt.Constant(0.05),
+		Momentum: 0.9,
+		Augment:  data.Augment{Shift: 1, Flip: true},
+		BaseSeed: 20220622,
+	}
+
+	encode := func(prefetch bool) []byte {
+		t.Helper()
+		prev := core.SetBatchPrefetch(prefetch)
+		defer core.SetBatchPrefetch(prev)
+		res, err := core.RunReplica(context.Background(), cfg, core.AlgoImpl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeResult(&buf, "prefetch|cell", res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	on := encode(true)
+	off := encode(false)
+	if !bytes.Equal(on, off) {
+		t.Fatalf("checkpoint bytes differ between prefetch on and off: %d vs %d bytes", len(on), len(off))
+	}
+}

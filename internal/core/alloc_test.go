@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// trainStepHarness assembles the exact pieces RunReplica wires together —
+// net + workspace, device, streaming loader, fused SGD — and returns a
+// closure running one training step (batch assembly through weight
+// update). Used by the zero-alloc gate and BenchmarkTrainStep.
+type trainStepHarness struct {
+	net    *nn.Sequential
+	dev    *device.Device
+	loader *data.Loader
+	sgd    *opt.SGD
+
+	shuffleS, augS *rng.Stream
+	epoch          int
+	ep             *data.Epoch
+	b              data.Batch
+}
+
+func newTrainStepHarness(mode device.Mode, prefetch bool) *trainStepHarness {
+	ds := data.CIFAR10Like(data.ScaleTest)
+	h := &trainStepHarness{}
+	h.net = models.SmallCNN(models.DefaultSmallCNN(ds.Classes))
+	initS, shuffleS, augS, _, _ := SeedsFor(1, AlgoImpl, 0)
+	h.net.Init(initS)
+	h.shuffleS, h.augS = shuffleS, augS
+	var entropy *rng.Stream
+	if mode == device.Default {
+		entropy = rng.New(7)
+	}
+	h.dev = device.New(device.V100, mode, entropy)
+	h.dev.SetWorkspace(h.net.UseWorkspace())
+	h.loader = data.NewLoader(ds, ds.Train, 32, data.Augment{Shift: 1, Flip: true})
+	h.loader.SetPrefetch(prefetch)
+	h.sgd = opt.NewSGD(0.9, 5e-4)
+	h.startEpoch()
+	return h
+}
+
+func (h *trainStepHarness) startEpoch() {
+	h.ep = h.loader.Epoch(h.shuffleS.SplitIndex(h.epoch), h.augS.SplitIndex(h.epoch))
+	h.epoch++
+}
+
+// step runs one training step, rolling into a fresh epoch when the current
+// one is exhausted. Reports whether an epoch boundary was crossed.
+func (h *trainStepHarness) step() bool {
+	rolled := false
+	if !h.ep.Next(&h.b) {
+		h.startEpoch()
+		rolled = true
+		if !h.ep.Next(&h.b) {
+			panic("core: empty epoch in trainStepHarness")
+		}
+	}
+	h.net.ZeroGrad()
+	logits := h.net.Forward(h.dev, h.b.X, true)
+	_, dlogits := nn.SoftmaxCrossEntropyInPlace(h.dev, logits, h.b.Labels)
+	h.net.Backward(h.dev, dlogits)
+	h.sgd.Step(h.net.Params(), 0.01)
+	h.net.Workspace().Reset()
+	return rolled
+}
+
+// TestTrainStepZeroAllocSteadyState is the alloc-regression gate: after one
+// warm epoch, a mid-epoch training step of the tiny config must perform
+// ZERO heap allocations — batch assembly, forward, loss, backward and the
+// fused SGD update all run out of reused buffers, the workspace and the
+// scratch pool (DESIGN.md §15). Runs in both device modes so the
+// Default-mode entropy draws are covered too. Prefetch is off so the
+// measurement has no helper goroutine; the byte-identity of prefetch
+// on/off is pinned separately (data and checkpoint tests).
+func TestTrainStepZeroAllocSteadyState(t *testing.T) {
+	for _, mode := range []device.Mode{device.Deterministic, device.Default} {
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newTrainStepHarness(mode, false)
+			// Warm epoch 0 end to end so every pool, workspace shape and
+			// layer buffer exists (including the partial final batch).
+			for !h.step() {
+			}
+			// Now in epoch 1. AllocsPerRun's warm-up call plus 5 measured
+			// runs stay inside the epoch's run of full batches.
+			avg := testing.AllocsPerRun(5, func() {
+				if h.step() {
+					t.Fatal("crossed an epoch boundary mid-measurement; enlarge the dataset or lower runs")
+				}
+			})
+			if avg != 0 {
+				t.Errorf("warm training step allocates %.1f times per step, want 0", avg)
+			}
+		})
+	}
+}

@@ -162,3 +162,28 @@ func BenchmarkReplicaResNet18(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTrainStep measures one warm training step — streamed batch
+// assembly, forward, in-place loss, backward, fused SGD update, workspace
+// reset — after a full warm-up epoch. With -benchmem this is the headline
+// zero-alloc number (BENCH_trainstep.json); the strict gate is
+// TestTrainStepZeroAllocSteadyState.
+func BenchmarkTrainStep(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		mode device.Mode
+	}{
+		{"deterministic", device.Deterministic},
+		{"default", device.Default},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			h := newTrainStepHarness(bc.mode, false)
+			for !h.step() {
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.step()
+			}
+		})
+	}
+}

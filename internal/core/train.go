@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/data"
 	"repro/internal/device"
@@ -11,6 +12,19 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
+
+// batchPrefetch gates the loader's background batch assembly (on by
+// default). Outputs are byte-identical either way — the data package pins
+// that — so this is a diagnostic/test knob, not a result-affecting one:
+// the checkpoint-bytes invariance test flips it, and constrained
+// environments can switch the helper goroutines off.
+var batchPrefetch atomic.Bool
+
+func init() { batchPrefetch.Store(true) }
+
+// SetBatchPrefetch toggles background batch assembly for subsequently
+// started replicas and returns the previous setting.
+func SetBatchPrefetch(on bool) bool { return batchPrefetch.Swap(on) }
 
 // TrainConfig describes one dataset/model/hardware training recipe.
 type TrainConfig struct {
@@ -104,26 +118,38 @@ func RunReplica(ctx context.Context, cfg TrainConfig, v Variant, replica int) (*
 	net := cfg.Model()
 	net.Init(initS)
 	dev := device.New(cfg.Device, mode, entropy)
+	// The network's activation workspace backs every kernel output and
+	// grants the elementwise layers in-place updates; resetting it at each
+	// batch boundary makes the warm training step allocation-free
+	// (TestTrainStepZeroAllocSteadyState gates this in CI).
+	ws := net.UseWorkspace()
+	dev.SetWorkspace(ws)
 	loader := data.NewLoader(cfg.Dataset, cfg.Dataset.Train, cfg.Batch, cfg.Augment)
+	loader.SetPrefetch(batchPrefetch.Load())
 	sgd := opt.NewSGD(cfg.Momentum, cfg.WeightDecay)
 
-	res := &RunResult{Variant: v, Replica: replica}
+	res := &RunResult{Variant: v, Replica: replica, EpochLoss: make([]float64, 0, cfg.Epochs)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.Schedule.LR(epoch)
 		var epochLoss float64
-		batches := loader.Epoch(shuffleS.SplitIndex(epoch), augS.SplitIndex(epoch))
-		for _, b := range batches {
+		batches := 0
+		ep := loader.Epoch(shuffleS.SplitIndex(epoch), augS.SplitIndex(epoch))
+		var b data.Batch
+		for ep.Next(&b) {
 			if err := ctx.Err(); err != nil {
+				ep.Close()
 				return nil, err
 			}
 			net.ZeroGrad()
 			logits := net.Forward(dev, b.X, true)
-			loss, dlogits := nn.SoftmaxCrossEntropy(dev, logits, b.Labels)
+			loss, dlogits := nn.SoftmaxCrossEntropyInPlace(dev, logits, b.Labels)
 			net.Backward(dev, dlogits)
 			sgd.Step(net.Params(), lr)
 			epochLoss += loss
+			batches++
+			ws.Reset()
 		}
-		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(len(batches)))
+		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(batches))
 	}
 
 	res.Predictions = Predict(net, dev, cfg.Dataset, cfg.Dataset.Test, cfg.Batch)
@@ -139,13 +165,24 @@ func RunReplica(ctx context.Context, cfg TrainConfig, v Variant, replica int) (*
 }
 
 // Predict runs the network over a split in fixed order (no shuffling, no
-// augmentation, eval-mode statistics) and returns argmax predictions.
+// augmentation, eval-mode statistics) and returns argmax predictions. The
+// predictions slice is preallocated at the split size and eval batches are
+// streamed, so the only per-call allocation is the result itself.
 func Predict(net *nn.Sequential, dev *device.Device, d *data.Dataset, sp *data.Split, batch int) []int {
 	loader := data.NewLoader(d, sp, batch, data.Augment{})
-	var preds []int
-	for _, b := range loader.Epoch(nil, nil) {
+	preds := make([]int, sp.N())
+	ws := dev.Workspace()
+	off := 0
+	ep := loader.Epoch(nil, nil)
+	var b data.Batch
+	for ep.Next(&b) {
 		logits := net.Forward(dev, b.X, false)
-		preds = append(preds, logits.ArgmaxRows()...)
+		n := logits.Dim(0)
+		logits.ArgmaxRowsInto(preds[off : off+n])
+		off += n
+		if ws != nil {
+			ws.Reset()
+		}
 	}
 	return preds
 }

@@ -36,6 +36,26 @@ type Device struct {
 	mode    Mode
 	entropy *rng.Stream
 	kernels int64 // count of kernel launches, for tests/inspection
+
+	// ws, when set, backs every kernel output tensor (see Alloc). Reused
+	// scheduler-order buffers below make Default-mode entropy draws
+	// allocation-free: permBuf serves the single-order kernels, and
+	// rowOrders/rowOrderData hold SumRowsInto's per-row orders, which must
+	// all be live at once.
+	ws           *tensor.Workspace
+	permBuf      []int
+	rowOrders    [][]int
+	rowOrderData []int
+
+	// Reused panel-source boxes. Assigning a value struct to the
+	// panelSource interface heap-allocates the box on every kernel call;
+	// filling a device-owned struct and boxing its pointer does not. The
+	// Device is single-caller and each kernel consumes its source before
+	// returning, so one box per source kind suffices.
+	rowSrc     rowPanel
+	colSrc     colPanel
+	im2colSrc  im2colPanel
+	im2colTSrc im2colTPanel
 }
 
 // New returns a device for the given part. entropy is the hardware-entropy
@@ -58,18 +78,63 @@ func (d *Device) Mode() Mode { return d.mode }
 // equivalents, so the count is invariant under the worker budget.
 func (d *Device) KernelLaunches() int64 { return d.kernels }
 
+// SetWorkspace attaches an activation workspace: every subsequent kernel
+// output tensor (MatMul results, reduction outputs routed through Alloc) is
+// drawn from ws instead of the heap, making warm kernel launches
+// allocation-free. The caller owns ws's Reset cadence — the training loop
+// resets at batch boundaries, after every tensor produced during the batch
+// is dead. A nil ws restores plain heap allocation.
+func (d *Device) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
+
+// Workspace returns the attached activation workspace (nil when unset).
+func (d *Device) Workspace() *tensor.Workspace { return d.ws }
+
+// Alloc returns an output tensor of the given shape with unspecified
+// contents — workspace-backed when a workspace is attached, freshly
+// heap-allocated (and therefore zeroed) otherwise. Layers use it for
+// outputs they fully overwrite.
+func (d *Device) Alloc(shape ...int) *tensor.Tensor {
+	if d.ws != nil {
+		return d.ws.Get(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// AllocZero is Alloc with guaranteed-zero contents, for outputs that are
+// accumulated into (GEMM partials, scatter targets).
+func (d *Device) AllocZero(shape ...int) *tensor.Tensor {
+	if d.ws != nil {
+		t := d.ws.Get(shape...)
+		t.Zero()
+		return t
+	}
+	return tensor.New(shape...)
+}
+
 // nondeterministic reports whether this device perturbs accumulation orders.
 func (d *Device) nondeterministic() bool {
 	return d.mode == Default && !d.cfg.Systolic && d.cfg.CUDACores > 0 && d.entropy != nil
 }
 
 // schedOrder draws a scheduler commit order for n partials, or nil for the
-// fixed ascending order.
+// fixed ascending order. The returned slice is device-owned and valid only
+// until the next draw — kernels consume it before returning, and the
+// Device is single-caller, so draws never overlap.
 func (d *Device) schedOrder(n int) []int {
 	if n <= 1 || !d.nondeterministic() {
 		return nil
 	}
-	return d.entropy.Perm(n)
+	d.permBuf = growInts(d.permBuf, n)
+	return d.entropy.PermInto(d.permBuf, n)
+}
+
+// growInts grows dst to n elements, reusing its backing array when
+// possible. Contents are unspecified; callers overwrite.
+func growInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
 }
 
 // MatMul computes C = op(A) × op(B) where op optionally transposes. A is
@@ -97,9 +162,11 @@ func (d *Device) MatMul(a, b *tensor.Tensor, transA, transB bool) *tensor.Tensor
 	ad, scr := materializeA(a, transA)
 	var src panelSource
 	if transB {
-		src = colPanel{data: b.Data(), cols: b.Dim(1)}
+		d.colSrc = colPanel{data: b.Data(), cols: b.Dim(1)}
+		src = &d.colSrc
 	} else {
-		src = rowPanel{data: b.Data(), ld: bn}
+		d.rowSrc = rowPanel{data: b.Data(), ld: bn}
+		src = &d.rowSrc
 	}
 	out := d.runGEMM(ad, src, am, ak, bn)
 	if scr != nil {
@@ -121,7 +188,8 @@ func (d *Device) MatMulIm2Col(w, x *tensor.Tensor, g tensor.ConvGeom) *tensor.Te
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("device: MatMulIm2Col input must be NCHW, got %v", x.Shape()))
 	}
-	return d.runGEMM(w.Data(), im2colPanel{x: x, g: g}, w.Dim(0), g.ColRows(), g.ColCols())
+	d.im2colSrc = im2colPanel{x: x, g: g}
+	return d.runGEMM(w.Data(), &d.im2colSrc, w.Dim(0), g.ColRows(), g.ColCols())
 }
 
 // MatMulIm2ColT computes A × im2col(x, g)ᵀ — the backward-weights
@@ -137,7 +205,8 @@ func (d *Device) MatMulIm2ColT(a, x *tensor.Tensor, g tensor.ConvGeom) *tensor.T
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("device: MatMulIm2ColT input must be NCHW, got %v", x.Shape()))
 	}
-	return d.runGEMM(a.Data(), im2colTPanel{x: x, g: g}, a.Dim(0), g.ColCols(), g.ColRows())
+	d.im2colTSrc = im2colTPanel{x: x, g: g}
+	return d.runGEMM(a.Data(), &d.im2colTSrc, a.Dim(0), g.ColCols(), g.ColRows())
 }
 
 // runGEMM resolves the accumulation-order policy (drawing any scheduler
@@ -146,16 +215,29 @@ func (d *Device) MatMulIm2ColT(a, x *tensor.Tensor, g tensor.ConvGeom) *tensor.T
 // Tensor-Core parts run the deterministic fp16 systolic path and draw no
 // entropy, exactly like the reference kernel.
 func (d *Device) runGEMM(ad []float32, src panelSource, m, k, n int) *tensor.Tensor {
-	out := tensor.New(m, n)
-	args := gemmArgs{ad: ad, src: src, od: out.Data(), m: m, k: k, n: n, chunks: 1}
-	if d.cfg.TensorCores {
-		args.fp16 = true
-	} else if d.nondeterministic() {
-		args.chunks = d.cfg.reorderChunks(k)
-		args.order = d.schedOrder(args.chunks)
+	out := d.AllocZero(m, n)
+	fp16 := d.cfg.TensorCores
+	chunks := 1
+	var order []int
+	if !fp16 && d.nondeterministic() {
+		chunks = d.cfg.reorderChunks(k)
+		order = d.schedOrder(chunks)
 	}
 	const minRowsPerShard = 4
 	shards := intraShards(m, int64(m)*int64(k)*int64(n), minRowsPerShard)
+	if shards <= 1 {
+		// Serial path with its own args variable: the sharded branch's
+		// closure escapes to the worker pool and drags its captured args to
+		// the heap, so sharing one variable across both branches would
+		// heap-allocate on every kernel call. Small below-threshold GEMMs —
+		// the zero-alloc steady state — stay allocation-free this way.
+		args := gemmArgs{ad: ad, src: src, od: out.Data(), m: m, k: k, n: n, chunks: chunks, order: order, fp16: fp16}
+		panel := panelScratch(k, n)
+		gemmBlocked(&args, 0, m, panel)
+		tensor.PutScratch(panel)
+		return out
+	}
+	args := gemmArgs{ad: ad, src: src, od: out.Data(), m: m, k: k, n: n, chunks: chunks, order: order, fp16: fp16}
 	shardRows(shards, m, func(lo, hi int) {
 		panel := panelScratch(k, n)
 		gemmBlocked(&args, lo, hi, panel)
@@ -219,14 +301,36 @@ func (d *Device) SumRowsInto(m *tensor.Tensor, dst []float32) []float32 {
 	}
 	var orders [][]int
 	if chunks > 1 {
-		orders = make([][]int, rows)
+		// Every row's order must be live at once (rows shard across the
+		// pool), so they draw into a reused flat buffer rather than the
+		// shared permBuf. Draws happen in row order before dispatch, so the
+		// entropy stream sees exactly the serial sequence.
+		if cap(d.rowOrders) < rows {
+			d.rowOrders = make([][]int, rows)
+		}
+		d.rowOrderData = growInts(d.rowOrderData, rows*chunks)
+		orders = d.rowOrders[:rows]
 		for r := range orders {
-			orders[r] = d.schedOrder(chunks)
+			orders[r] = d.entropy.PermInto(d.rowOrderData[r*chunks:(r+1)*chunks], chunks)
 		}
 	}
 	data := m.Data()
 	const minRowsPerShard = 8
 	shards := intraShards(rows, int64(rows)*int64(cols), minRowsPerShard)
+	if shards <= 1 {
+		// Serial loop inlined rather than shared with the sharded branch: a
+		// closure handed to the worker pool is heap-allocated where the
+		// literal appears, so below-threshold reductions must not evaluate
+		// one. Keeps the steady-state training step allocation-free.
+		for r := 0; r < rows; r++ {
+			var order []int
+			if orders != nil {
+				order = orders[r]
+			}
+			out[r] = reduceChunkedOrder(data[r*cols:(r+1)*cols], chunks, order)
+		}
+		return out
+	}
 	shardRows(shards, rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			var order []int
@@ -267,6 +371,22 @@ func (d *Device) SumColsInto(m *tensor.Tensor, dst []float32) []float32 {
 	data := m.Data()
 	const minColsPerShard = 64
 	shards := intraShards(cols, int64(rows)*int64(cols), minColsPerShard)
+	if shards <= 1 {
+		// Serial loop inlined; see SumRowsInto for why the sharded closure
+		// must not be evaluated on the below-threshold path.
+		for ci := 0; ci < chunks; ci++ {
+			c := ci
+			if order != nil {
+				c = order[ci]
+			}
+			lo := c * rows / chunks
+			hi := (c + 1) * rows / chunks
+			for r := lo; r < hi; r++ {
+				vadd(data[r*cols:r*cols+cols], out)
+			}
+		}
+		return out
+	}
 	shardRows(shards, cols, func(jLo, jHi int) {
 		for ci := 0; ci < chunks; ci++ {
 			c := ci
@@ -329,9 +449,6 @@ func reduceChunkedOrder(xs []float32, chunks int, order []int) float32 {
 // stays serial: overlapping destinations make row sharding order-unsafe.
 func (d *Device) Col2Im(col *tensor.Tensor, g tensor.ConvGeom, dst *tensor.Tensor) {
 	d.kernels++
-	var order []int
-	if d.nondeterministic() {
-		order = d.entropy.Perm(g.ColRows())
-	}
+	order := d.schedOrder(g.ColRows())
 	tensor.Col2ImAccum(col, g, dst, order)
 }

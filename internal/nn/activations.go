@@ -6,11 +6,37 @@ import (
 	"repro/internal/tensor"
 )
 
+// bitmask is packed boolean storage for activation masks: 1 bit per
+// element instead of the 1 byte a []bool costs, so a ReLU over a conv
+// feature map keeps its backward mask in 1/8th the memory.
+type bitmask []uint64
+
+// grow resizes the mask to cover n bits, reusing the backing array when
+// possible. Contents are unspecified; callers set every bit they read.
+func (m *bitmask) grow(n int) {
+	words := (n + 63) / 64
+	if cap(*m) < words {
+		*m = make([]uint64, words)
+		return
+	}
+	*m = (*m)[:words]
+}
+
+func (m bitmask) set(i int)      { m[i>>6] |= 1 << (uint(i) & 63) }
+func (m bitmask) clear(i int)    { m[i>>6] &^= 1 << (uint(i) & 63) }
+func (m bitmask) get(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
 // ReLU applies max(0, x) elementwise. Elementwise ops involve no reductions
 // and are order-insensitive, so they run identically on every device.
+//
+// In reference mode Forward/Backward clone their inputs; once the owning
+// Sequential grants in-place mode (UseWorkspace) they mutate the input
+// tensor instead — bit-identical, because the per-element operation is
+// unchanged and the chain guarantees nothing else reads the input again.
 type ReLU struct {
-	name string
-	mask []bool
+	name    string
+	mask    bitmask
+	inPlace bool
 }
 
 // NewReLU builds a ReLU activation layer.
@@ -25,19 +51,21 @@ func (r *ReLU) Params() []*Param { return nil }
 // Init implements Layer.
 func (r *ReLU) Init(*rng.Stream) {}
 
+func (r *ReLU) markInPlace() { r.inPlace = true }
+
 // Forward implements Layer.
 func (r *ReLU) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	d := out.Data()
-	if cap(r.mask) < len(d) {
-		r.mask = make([]bool, len(d))
+	out := x
+	if !r.inPlace {
+		out = x.Clone()
 	}
-	r.mask = r.mask[:len(d)]
+	d := out.Data()
+	r.mask.grow(len(d))
 	for i, v := range d {
 		if v > 0 {
-			r.mask[i] = true
+			r.mask.set(i)
 		} else {
-			r.mask[i] = false
+			r.mask.clear(i)
 			d[i] = 0
 		}
 	}
@@ -46,10 +74,13 @@ func (r *ReLU) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
-	dx := dy.Clone()
+	dx := dy
+	if !r.inPlace {
+		dx = dy.Clone()
+	}
 	d := dx.Data()
 	for i := range d {
-		if !r.mask[i] {
+		if !r.mask.get(i) {
 			d[i] = 0
 		}
 	}
@@ -60,11 +91,17 @@ func (r *ReLU) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
 // scales survivors by 1/(1-Rate) (inverted dropout). The mask stream is an
 // algorithmic noise source: it is split off the init stream, so a fixed
 // seed policy (IMPL/CONTROL variants) makes dropout reproducible.
+//
+// Like ReLU, Dropout clones in reference mode and mutates in place once
+// its Sequential grants in-place mode; the stream draw sequence and the
+// per-element arithmetic are identical either way.
 type Dropout struct {
-	name   string
-	rate   float64
-	stream *rng.Stream
-	mask   []float32
+	name    string
+	rate    float64
+	stream  *rng.Stream
+	mask    []float32
+	active  bool // mask valid for the last Forward (train mode, rate > 0)
+	inPlace bool
 }
 
 // NewDropout builds a dropout layer with the given drop rate in [0, 1).
@@ -81,18 +118,24 @@ func (d *Dropout) Params() []*Param { return nil }
 // Init captures the stochastic mask stream.
 func (d *Dropout) Init(stream *rng.Stream) { d.stream = stream.Split("mask") }
 
+func (d *Dropout) markInPlace() { d.inPlace = true }
+
 // Forward implements Layer.
 func (d *Dropout) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.rate == 0 {
-		d.mask = nil
+		d.active = false
 		return x
 	}
-	out := x.Clone()
+	out := x
+	if !d.inPlace {
+		out = x.Clone()
+	}
 	data := out.Data()
 	if cap(d.mask) < len(data) {
 		d.mask = make([]float32, len(data))
 	}
 	d.mask = d.mask[:len(data)]
+	d.active = true
 	keep := float32(1 / (1 - d.rate))
 	for i := range data {
 		if d.stream.Bernoulli(d.rate) {
@@ -108,10 +151,13 @@ func (d *Dropout) Forward(dev *device.Device, x *tensor.Tensor, train bool) *ten
 
 // Backward implements Layer.
 func (d *Dropout) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
-	if d.mask == nil {
+	if !d.active {
 		return dy
 	}
-	dx := dy.Clone()
+	dx := dy
+	if !d.inPlace {
+		dx = dy.Clone()
+	}
 	data := dx.Data()
 	for i := range data {
 		data[i] *= d.mask[i]

@@ -38,6 +38,14 @@ type BatchNorm struct {
 	sumBuf    []float32
 	sumDyBuf  []float32
 	sumDyXBuf []float32
+
+	// Reused tensor headers for the scratch-backed views above (the
+	// channel-major temporaries and xhat), so rebinding them each step
+	// allocates nothing.
+	xcHdr   tensor.Tensor
+	dyCHdr  tensor.Tensor
+	prodHdr tensor.Tensor
+	xhatHdr tensor.Tensor
 }
 
 // NewBatchNorm builds a batch-normalization layer over c channels.
@@ -69,11 +77,11 @@ func (b *BatchNorm) Init(*rng.Stream) {
 }
 
 // channelMajor copies an NCHW tensor into a (C, N*H*W) matrix backed by the
-// caller-supplied scratch (every element is overwritten).
-func channelMajor(x *tensor.Tensor, scr []float32) *tensor.Tensor {
+// caller-supplied scratch and header (every element is overwritten).
+func channelMajor(x *tensor.Tensor, scr []float32, hdr *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hw := h * w
-	out := tensor.FromSlice(scr[:n*c*hw], c, n*hw)
+	out := tensor.FromSliceInto(hdr, scr[:n*c*hw], c, n*hw)
 	xd, od := x.Data(), out.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -98,7 +106,7 @@ func (b *BatchNorm) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 		// Batch statistics via device reductions (order-sensitive). The
 		// channel-major temporary is pooled scratch, dead by return.
 		scr := tensor.GetScratch(n * c * h * w)
-		xc := channelMajor(x, scr)
+		xc := channelMajor(x, scr, &b.xcHdr)
 		b.sumBuf = dev.SumRowsInto(xc, b.sumBuf)
 		b.meanBuf = scratchFloats(b.meanBuf, c)
 		mean = b.meanBuf
@@ -139,9 +147,9 @@ func (b *BatchNorm) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 		invStd[i] = 1 / float32(math.Sqrt(float64(variance[i]+b.eps)))
 	}
 
-	out := tensor.New(n, c, h, w)
+	out := dev.Alloc(n, c, h, w)
 	b.xhatBuf = scratchFloats(b.xhatBuf, n*c*h*w)
-	xhat := tensor.FromSlice(b.xhatBuf, n, c, h, w)
+	xhat := tensor.FromSliceInto(&b.xhatHdr, b.xhatBuf, n, c, h, w)
 	xd, od, hd := x.Data(), out.Data(), xhat.Data()
 	gd, bd := b.Gamma.Value.Data(), b.Beta.Value.Data()
 	hw := h * w
@@ -177,9 +185,9 @@ func (b *BatchNorm) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tens
 	// Per-channel reductions: sum(dy) and sum(dy * xhat). Both channel-major
 	// temporaries are pooled scratch, released after the reductions.
 	dyScr := tensor.GetScratch(n * c * hw)
-	dyC := channelMajor(dy, dyScr)
+	dyC := channelMajor(dy, dyScr, &b.dyCHdr)
 	prodScr := tensor.GetScratch(n * c * hw)
-	prod := channelMajor(b.lastXHat, prodScr)
+	prod := channelMajor(b.lastXHat, prodScr, &b.prodHdr)
 	prod.MulElem(dyC)
 	b.sumDyBuf = dev.SumRowsInto(dyC, b.sumDyBuf)
 	b.sumDyXBuf = dev.SumRowsInto(prod, b.sumDyXBuf)
@@ -195,7 +203,7 @@ func (b *BatchNorm) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tens
 	}
 
 	// dx = (gamma*invStd/m) * (m*dy - sum(dy) - xhat*sum(dy*xhat))
-	dx := tensor.New(n, c, h, w)
+	dx := dev.Alloc(n, c, h, w)
 	dxd, dyd, hd := dx.Data(), dy.Data(), b.lastXHat.Data()
 	gd := b.Gamma.Value.Data()
 	for ni := 0; ni < n; ni++ {

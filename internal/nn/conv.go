@@ -27,9 +27,13 @@ type Conv2D struct {
 
 	// Scratch reused across training steps. dxBuf backs the backward-data
 	// output and must stay layer-owned: the returned gradient aliases it
-	// until the caller consumes it. dbBuf holds the bias-gradient reduction.
+	// until the caller consumes it. dbBuf holds the bias-gradient
+	// reduction. dxHdr and dyHdr are reused tensor headers for the
+	// backward-data output and the gradient's GEMM-layout view.
 	dxBuf []float32
 	dbBuf []float32
+	dxHdr tensor.Tensor
+	dyHdr tensor.Tensor
 }
 
 // NewConv2D builds a convolution layer. kernel is the (square) filter size.
@@ -83,7 +87,7 @@ func (c *Conv2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tens
 	addBiasRows(yMat, c.B.Value.Data())
 
 	c.lastX, c.lastGeom, c.haveForward = x, g, true
-	return matToNCHW(yMat, g)
+	return matToNCHW(dev, yMat, g)
 }
 
 // Backward implements Layer.
@@ -93,7 +97,7 @@ func (c *Conv2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor 
 	}
 	g := c.lastGeom
 	dyScr := tensor.GetScratch(g.OutC * g.ColCols())
-	dyMat := nchwToMat(dy, g, dyScr) // (OutC, N*OH*OW)
+	dyMat := nchwToMat(dy, g, dyScr, &c.dyHdr) // (OutC, N*OH*OW)
 
 	// dW = dyMat × im2col(x)^T (fused, colᵀ never materialized);
 	// dB = row sums of dyMat.
@@ -112,7 +116,7 @@ func (c *Conv2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor 
 	if cap(c.dxBuf) < n {
 		c.dxBuf = make([]float32, n)
 	}
-	dx := tensor.FromSlice(c.dxBuf[:n], g.Batch, g.InC, g.InH, g.InW)
+	dx := tensor.FromSliceInto(&c.dxHdr, c.dxBuf[:n], g.Batch, g.InC, g.InH, g.InW)
 	dx.Zero() // Col2Im accumulates; the scratch holds last step's values
 	dev.Col2Im(dcol, g, dx)
 	c.lastX, c.haveForward = nil, false
@@ -133,10 +137,12 @@ func addBiasRows(m *tensor.Tensor, bias []float32) {
 }
 
 // matToNCHW reorders a (OutC, N*OH*OW) GEMM output into (N, OutC, OH, OW).
-func matToNCHW(m *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+// The output is device-allocated (workspace-backed when one is attached)
+// and fully overwritten.
+func matToNCHW(dev *device.Device, m *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	hw := outH * outW
-	out := tensor.New(g.Batch, g.OutC, outH, outW)
+	out := dev.Alloc(g.Batch, g.OutC, outH, outW)
 	md, od := m.Data(), out.Data()
 	for c := 0; c < g.OutC; c++ {
 		for n := 0; n < g.Batch; n++ {
@@ -149,11 +155,11 @@ func matToNCHW(m *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 }
 
 // nchwToMat reorders (N, OutC, OH, OW) gradients into GEMM layout
-// (OutC, N*OH*OW), backed by the caller-supplied scratch.
-func nchwToMat(t *tensor.Tensor, g tensor.ConvGeom, scr []float32) *tensor.Tensor {
+// (OutC, N*OH*OW), backed by the caller-supplied scratch and header.
+func nchwToMat(t *tensor.Tensor, g tensor.ConvGeom, scr []float32, hdr *tensor.Tensor) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	hw := outH * outW
-	out := tensor.FromSlice(scr[:g.OutC*g.Batch*hw], g.OutC, g.Batch*hw)
+	out := tensor.FromSliceInto(hdr, scr[:g.OutC*g.Batch*hw], g.OutC, g.Batch*hw)
 	td, od := t.Data(), out.Data()
 	for n := 0; n < g.Batch; n++ {
 		for c := 0; c < g.OutC; c++ {

@@ -77,9 +77,14 @@ func (d *Dense) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
 }
 
 // Flatten reshapes (N, ...) to (N, prod(rest)). It has no parameters.
+// fwdHdr/bwdHdr are reused headers for the forward and backward views;
+// they are distinct because the forward view is retained downstream (as
+// Dense's lastX) until the backward view is made.
 type Flatten struct {
 	name      string
 	lastShape []int
+	fwdHdr    tensor.Tensor
+	bwdHdr    tensor.Tensor
 }
 
 // NewFlatten builds a flatten layer.
@@ -97,10 +102,10 @@ func (f *Flatten) Init(*rng.Stream) {}
 // Forward implements Layer.
 func (f *Flatten) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.lastShape = append(f.lastShape[:0], x.Shape()...)
-	return x.Reshape(x.Dim(0), -1)
+	return x.ReshapeInto(&f.fwdHdr, x.Dim(0), -1)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
-	return dy.Reshape(f.lastShape...)
+	return dy.ReshapeInto(&f.bwdHdr, f.lastShape...)
 }

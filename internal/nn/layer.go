@@ -52,10 +52,24 @@ type Layer interface {
 	Init(stream *rng.Stream)
 }
 
-// Sequential chains layers.
+// Sequential chains layers. A Sequential optionally owns an activation
+// workspace (UseWorkspace): with one attached, in-place-capable layers
+// (ReLU, Dropout, the residual gradient mask) take ownership of their
+// inputs and mutate them instead of cloning — safe because the graph is a
+// linear chain and no layer retains a produced activation (DESIGN.md §15).
+// Without a workspace the network keeps the Clone-based reference
+// semantics, which the property tests pin the in-place path against.
 type Sequential struct {
 	name   string
 	layers []Layer
+	params []*Param // cached Params() result; reset by Append
+	ws     *tensor.Workspace
+}
+
+// inPlaceMarker is implemented by layers that can switch to in-place
+// activation updates once a workspace guarantees ownership of the chain.
+type inPlaceMarker interface {
+	markInPlace()
 }
 
 // NewSequential builds a named layer chain.
@@ -70,7 +84,41 @@ func (s *Sequential) Name() string { return s.name }
 func (s *Sequential) Layers() []Layer { return s.layers }
 
 // Append adds layers to the end of the chain.
-func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+func (s *Sequential) Append(layers ...Layer) {
+	s.layers = append(s.layers, layers...)
+	s.params = nil
+	if s.ws != nil {
+		s.markInPlace()
+	}
+}
+
+// UseWorkspace switches the network into workspace mode and returns the
+// workspace: activations and kernel outputs should be drawn from it (the
+// training loop attaches it to the device), and in-place-capable layers
+// mutate their inputs. The caller resets the workspace at batch
+// boundaries. Idempotent; the reference Clone-based semantics apply only
+// to networks that never call this.
+func (s *Sequential) UseWorkspace() *tensor.Workspace {
+	if s.ws == nil {
+		s.ws = tensor.NewWorkspace()
+		s.markInPlace()
+	}
+	return s.ws
+}
+
+// Workspace returns the attached workspace, or nil for a reference-mode
+// network.
+func (s *Sequential) Workspace() *tensor.Workspace { return s.ws }
+
+// markInPlace implements inPlaceMarker: nested Sequentials (residual bodies
+// and shortcuts) propagate the in-place grant without owning a workspace.
+func (s *Sequential) markInPlace() {
+	for _, l := range s.layers {
+		if m, ok := l.(inPlaceMarker); ok {
+			m.markInPlace()
+		}
+	}
+}
 
 // Forward runs all layers in order.
 func (s *Sequential) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -88,13 +136,17 @@ func (s *Sequential) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Ten
 	return dy
 }
 
-// Params collects every trainable parameter in chain order.
+// Params collects every trainable parameter in chain order. The slice is
+// computed once and cached (Append invalidates it): the optimizer and
+// ZeroGrad call this every batch, so it must not allocate at steady state.
+// Callers must not mutate the returned slice.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range s.layers {
-		ps = append(ps, l.Params()...)
+	if s.params == nil {
+		for _, l := range s.layers {
+			s.params = append(s.params, l.Params()...)
+		}
 	}
-	return ps
+	return s.params
 }
 
 // Init initializes every layer from sub-streams split off the given stream,

@@ -45,7 +45,7 @@ func (p *MaxPool2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 		panic(fmt.Sprintf("nn: MaxPool2D %s input %dx%d not divisible by window %d", p.name, h, w, p.window))
 	}
 	oh, ow := h/p.window, w/p.window
-	out := tensor.New(n, c, oh, ow)
+	out := dev.Alloc(n, c, oh, ow)
 	p.lastShape = append(p.lastShape[:0], x.Shape()...)
 	if cap(p.argmax) < out.Len() {
 		p.argmax = make([]int, out.Len())
@@ -78,7 +78,8 @@ func (p *MaxPool2D) Forward(dev *device.Device, x *tensor.Tensor, train bool) *t
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.lastShape...)
+	// The scatter accumulates into dx, so it must start zeroed.
+	dx := dev.AllocZero(p.lastShape...)
 	dxd, dyd := dx.Data(), dy.Data()
 	for i, src := range p.argmax {
 		dxd[src] += dyd[i]
@@ -92,7 +93,8 @@ func (p *MaxPool2D) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tens
 type GlobalAvgPool struct {
 	name      string
 	lastShape []int
-	sumBuf    []float32 // spatial-sum reduction, reused across steps
+	sumBuf    []float32     // spatial-sum reduction, reused across steps
+	viewHdr   tensor.Tensor // reused header for the (N*C, H*W) input view
 }
 
 // NewGlobalAvgPool builds a global average pooling layer.
@@ -115,9 +117,9 @@ func (p *GlobalAvgPool) Forward(dev *device.Device, x *tensor.Tensor, train bool
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.lastShape = append(p.lastShape[:0], x.Shape()...)
 	// (N*C, H*W) view shares storage; SumRows reduces each channel map.
-	p.sumBuf = dev.SumRowsInto(x.Reshape(n*c, h*w), p.sumBuf)
+	p.sumBuf = dev.SumRowsInto(x.ReshapeInto(&p.viewHdr, n*c, h*w), p.sumBuf)
 	sums := p.sumBuf
-	out := tensor.New(n, c)
+	out := dev.Alloc(n, c)
 	od := out.Data()
 	inv := 1 / float32(h*w)
 	for i, s := range sums {
@@ -129,7 +131,7 @@ func (p *GlobalAvgPool) Forward(dev *device.Device, x *tensor.Tensor, train bool
 // Backward implements Layer.
 func (p *GlobalAvgPool) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
-	dx := tensor.New(n, c, h, w)
+	dx := dev.Alloc(n, c, h, w)
 	dxd, dyd := dx.Data(), dy.Data()
 	inv := 1 / float32(h*w)
 	for nc := 0; nc < n*c; nc++ {

@@ -9,11 +9,21 @@ import (
 // Residual implements a ResNet block: out = ReLU(body(x) + shortcut(x)).
 // The shortcut is identity when nil, otherwise a projection (1×1 conv,
 // optionally followed by BN) that matches the body's output shape.
+//
+// In-place constraint (DESIGN.md §15): the block reads x twice — once into
+// the body and once for the shortcut — so the body's FIRST layer must not
+// mutate x, and with an identity shortcut the body's backward must not
+// mutate the masked gradient it receives. Both hold for every model in
+// internal/models: residual bodies start with Conv2D and end with
+// BatchNorm, neither of which touches its input. In in-place mode the
+// gradient mask is applied directly to dy (the caller hands over
+// ownership); reference mode clones first.
 type Residual struct {
 	name     string
 	body     *Sequential
 	shortcut *Sequential // nil means identity
-	mask     []bool
+	mask     bitmask
+	inPlace  bool
 }
 
 // NewResidual builds a residual block. shortcut may be nil for identity.
@@ -41,6 +51,14 @@ func (r *Residual) Init(stream *rng.Stream) {
 	}
 }
 
+func (r *Residual) markInPlace() {
+	r.inPlace = true
+	r.body.markInPlace()
+	if r.shortcut != nil {
+		r.shortcut.markInPlace()
+	}
+}
+
 // Forward implements Layer.
 func (r *Residual) Forward(dev *device.Device, x *tensor.Tensor, train bool) *tensor.Tensor {
 	main := r.body.Forward(dev, x, train)
@@ -51,15 +69,12 @@ func (r *Residual) Forward(dev *device.Device, x *tensor.Tensor, train bool) *te
 	main.Add(short)
 	// Final ReLU with mask for backward.
 	d := main.Data()
-	if cap(r.mask) < len(d) {
-		r.mask = make([]bool, len(d))
-	}
-	r.mask = r.mask[:len(d)]
+	r.mask.grow(len(d))
 	for i, v := range d {
 		if v > 0 {
-			r.mask[i] = true
+			r.mask.set(i)
 		} else {
-			r.mask[i] = false
+			r.mask.clear(i)
 			d[i] = 0
 		}
 	}
@@ -68,10 +83,13 @@ func (r *Residual) Forward(dev *device.Device, x *tensor.Tensor, train bool) *te
 
 // Backward implements Layer.
 func (r *Residual) Backward(dev *device.Device, dy *tensor.Tensor) *tensor.Tensor {
-	dsum := dy.Clone()
+	dsum := dy
+	if !r.inPlace {
+		dsum = dy.Clone()
+	}
 	d := dsum.Data()
 	for i := range d {
-		if !r.mask[i] {
+		if !r.mask.get(i) {
 			d[i] = 0
 		}
 	}

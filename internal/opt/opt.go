@@ -94,23 +94,55 @@ func NewSGD(momentum, weightDecay float64) *SGD {
 
 // Step applies one update with the given learning rate and clears nothing;
 // callers zero gradients themselves before the next accumulation.
+//
+// The update is a single fused pass per parameter: weight decay, momentum
+// and the weight update execute in one loop instead of four tensor
+// traversals. Elements are independent, so fusing the passes per element
+// preserves the exact floating-point operation sequence of the unfused
+// form (decay into grad, scale velocity, add grad, apply update — each
+// intermediate rounded at a statement boundary, matching the old
+// AddScaled/Scale calls bit for bit; TestSGDStepFusedMatchesReference pins
+// this). Weight decay still writes the decayed gradient back, preserving
+// the observable Grad contents.
 func (s *SGD) Step(params []*nn.Param, lr float64) {
+	wd := float32(s.WeightDecay)
+	m := float32(s.Momentum)
+	nlr := float32(-lr)
 	for _, p := range params {
-		g := p.Grad
-		if s.WeightDecay != 0 {
-			g.AddScaled(float32(s.WeightDecay), p.Value)
-		}
+		pv, gd := p.Value.Data(), p.Grad.Data()
 		if s.Momentum != 0 {
 			v, ok := s.velocity[p]
 			if !ok {
 				v = tensor.New(p.Value.Shape()...)
 				s.velocity[p] = v
 			}
-			v.Scale(float32(s.Momentum))
-			v.AddScaled(1, g)
-			p.Value.AddScaled(float32(-lr), v)
+			vd := v.Data()
+			if s.WeightDecay != 0 {
+				for i := range pv {
+					gi := gd[i] + wd*pv[i]
+					gd[i] = gi
+					vi := vd[i] * m
+					vi += gi
+					vd[i] = vi
+					pv[i] += nlr * vi
+				}
+			} else {
+				for i := range pv {
+					vi := vd[i] * m
+					vi += gd[i]
+					vd[i] = vi
+					pv[i] += nlr * vi
+				}
+			}
+		} else if s.WeightDecay != 0 {
+			for i := range pv {
+				gd[i] += wd * pv[i]
+				pv[i] += nlr * gd[i]
+			}
 		} else {
-			p.Value.AddScaled(float32(-lr), g)
+			for i := range pv {
+				pv[i] += nlr * gd[i]
+			}
 		}
 	}
 }

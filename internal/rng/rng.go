@@ -202,6 +202,19 @@ func (s *Stream) Perm(n int) []int {
 	return p
 }
 
+// PermInto fills dst[:n] with a pseudo-random permutation of [0, n),
+// drawing exactly the stream values Perm(n) would — the allocation-free
+// form for callers that reuse a buffer. dst must have length >= n; the
+// filled prefix is returned.
+func (s *Stream) PermInto(dst []int, n int) []int {
+	p := dst[:n]
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
 // Shuffle permutes n elements in place using the provided swap function.
 func (s *Stream) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {

@@ -20,11 +20,17 @@ type Tensor struct {
 
 // New returns a zero-filled tensor with the given shape. A zero-dimensional
 // tensor (no dims) holds a single scalar.
+//
+// The panic messages below format a copy of the shape rather than the
+// parameter itself: handing the variadic slice to fmt would make it escape,
+// heap-allocating the []int at every call site even on the happy path. The
+// copy keeps shape non-escaping, so callers like device.Alloc build their
+// shape argument on the stack (the zero-alloc steady state depends on it).
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, append([]int(nil), shape...)))
 		}
 		n *= d
 	}
@@ -38,9 +44,27 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 		n *= d
 	}
 	if n != len(data) {
-		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", append([]int(nil), shape...), n, len(data)))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// FromSliceInto rebinds hdr to wrap data (not copied) with the given shape
+// and returns hdr. It is the header-reuse form of FromSlice: a layer that
+// wraps a scratch buffer every step keeps one Tensor header alive and
+// rebinds it instead of allocating a fresh header (struct + shape slice)
+// per call. hdr must not be nil and must not be aliased by live views.
+func FromSliceInto(hdr *Tensor, data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", append([]int(nil), shape...), n, len(data)))
+	}
+	hdr.shape = append(hdr.shape[:0], shape...)
+	hdr.data = data
+	return hdr
 }
 
 // Shape returns the tensor's dimensions. The caller must not mutate it.
@@ -91,6 +115,37 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: Reshape %v incompatible with %d elements", shape, len(t.data)))
 	}
 	return &Tensor{shape: out, data: t.data}
+}
+
+// ReshapeInto is the header-reuse form of Reshape: it binds hdr as a view
+// over t's storage with the new shape (one dimension may be -1 to infer)
+// and returns hdr without allocating. See FromSliceInto for the ownership
+// rules on hdr.
+func (t *Tensor) ReshapeInto(hdr *Tensor, shape ...int) *Tensor {
+	n, infer := 1, -1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: multiple -1 dims in ReshapeInto")
+			}
+			infer = i
+			continue
+		}
+		n *= d
+	}
+	hdr.shape = append(hdr.shape[:0], shape...)
+	if infer >= 0 {
+		if n == 0 || len(t.data)%n != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dim for %v from %d elements", append([]int(nil), shape...), len(t.data)))
+		}
+		hdr.shape[infer] = len(t.data) / n
+		n *= hdr.shape[infer]
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: ReshapeInto %v incompatible with %d elements", append([]int(nil), shape...), len(t.data)))
+	}
+	hdr.data = t.data
+	return hdr
 }
 
 // At returns the element at the given indices.
@@ -223,6 +278,30 @@ func (t *Tensor) ArgmaxRows() []int {
 		out[r] = best
 	}
 	return out
+}
+
+// ArgmaxRowsInto is the allocation-free form of ArgmaxRows: it writes each
+// row's argmax into dst (which must have length ≥ rows) and returns
+// dst[:rows].
+func (t *Tensor) ArgmaxRowsInto(dst []int) []int {
+	if t.Rank() != 2 {
+		panic("tensor: ArgmaxRowsInto requires rank 2")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if len(dst) < rows {
+		panic(fmt.Sprintf("tensor: ArgmaxRowsInto dst len %d < %d rows", len(dst), rows))
+	}
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		best := 0
+		for c := 1; c < cols; c++ {
+			if row[c] > row[best] {
+				best = c
+			}
+		}
+		dst[r] = best
+	}
+	return dst[:rows]
 }
 
 // String renders a compact description (shape plus leading values).

@@ -1,0 +1,92 @@
+package tensor
+
+import "fmt"
+
+// Workspace is a per-replica activation arena: a free list of tensors keyed
+// by shape, handed out by Get and reclaimed in bulk by Reset. One training
+// step allocates the same set of activation/gradient shapes every batch, so
+// after the first step every Get is a free-list hit and the steady-state
+// step performs zero heap allocations (DESIGN.md §15).
+//
+// Ownership rules:
+//
+//   - Tensors returned by Get are valid only until the next Reset. Anything
+//     that must outlive the step (weights, velocity, recorded predictions)
+//     must not come from a Workspace.
+//   - Contents are unspecified on reuse: callers fully overwrite what they
+//     read, or explicitly Zero (the device's AllocZero does this).
+//   - A Workspace is single-goroutine: it is owned by one replica's
+//     training loop and is not safe for concurrent use.
+type Workspace struct {
+	free map[wkey][]*Tensor
+	used []*Tensor
+}
+
+// wkey is a shape as a fixed-size map key. Rank ≤ 4 covers every activation
+// shape in the stack (N×K matrices and N×C×H×W feature maps); higher ranks
+// panic rather than silently degrade.
+type wkey struct {
+	rank int
+	dims [4]int
+}
+
+func keyOf(shape []int) wkey {
+	if len(shape) > 4 {
+		panic("tensor: Workspace supports rank <= 4")
+	}
+	k := wkey{rank: len(shape)}
+	for i, d := range shape {
+		k.dims[i] = d
+	}
+	return k
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[wkey][]*Tensor)}
+}
+
+// Get returns a tensor of the given shape, reusing a free-listed tensor
+// when one exists. Contents are unspecified on reuse; the tensor is owned
+// by the caller until the next Reset.
+func (w *Workspace) Get(shape ...int) *Tensor {
+	k := keyOf(shape)
+	if list := w.free[k]; len(list) > 0 {
+		last := len(list) - 1
+		t := list[last]
+		list[last] = nil
+		w.free[k] = list[:last]
+		w.used = append(w.used, t)
+		return t
+	}
+	t := New(shape...)
+	w.used = append(w.used, t)
+	return t
+}
+
+// Reset reclaims every tensor handed out since the previous Reset. Callers
+// must have dropped all references first; the training loop calls this at
+// each batch boundary.
+func (w *Workspace) Reset() {
+	for i, t := range w.used {
+		k := keyOf(t.shape)
+		w.free[k] = append(w.free[k], t)
+		w.used[i] = nil
+	}
+	w.used = w.used[:0]
+}
+
+// Live returns how many tensors are currently handed out (test hook).
+func (w *Workspace) Live() int { return len(w.used) }
+
+// String describes the arena's footprint.
+func (w *Workspace) String() string {
+	n, el := 0, 0
+	for _, list := range w.free {
+		for _, t := range list {
+			n++
+			el += len(t.data)
+		}
+	}
+	return fmt.Sprintf("Workspace{free: %d tensors / %d floats, live: %d}", n, el, len(w.used))
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import "testing"
+
+func TestWorkspaceReusesByShape(t *testing.T) {
+	w := NewWorkspace()
+	a := w.Get(4, 8)
+	b := w.Get(4, 8)
+	if a == b {
+		t.Fatal("two live Gets of the same shape returned the same tensor")
+	}
+	c := w.Get(8, 4)
+	if w.Live() != 3 {
+		t.Fatalf("Live = %d, want 3", w.Live())
+	}
+	w.Reset()
+	if w.Live() != 0 {
+		t.Fatalf("Live after Reset = %d, want 0", w.Live())
+	}
+	// Same shapes must come back from the free lists, not fresh memory.
+	got := map[*Tensor]bool{w.Get(4, 8): true, w.Get(4, 8): true}
+	if !got[a] || !got[b] {
+		t.Fatal("Get after Reset did not reuse the freed tensors")
+	}
+	if w.Get(8, 4) != c {
+		t.Fatal("distinct shape was not reused from its own free list")
+	}
+}
+
+func TestWorkspaceShapesAreDistinct(t *testing.T) {
+	w := NewWorkspace()
+	a := w.Get(2, 3)
+	w.Reset()
+	// (3, 2) has the same element count but is a different shape key.
+	b := w.Get(3, 2)
+	if a == b {
+		t.Fatal("workspace conflated shapes with equal element counts")
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 2 {
+		t.Fatalf("wrong shape %v", b.Shape())
+	}
+}
+
+func TestWorkspaceWarmGetAllocatesNothing(t *testing.T) {
+	w := NewWorkspace()
+	shapes := [][]int{{32, 10}, {32, 16, 8, 8}, {32, 3, 8, 8}, {10}}
+	warm := func() {
+		for _, s := range shapes {
+			w.Get(s...)
+		}
+		w.Reset()
+	}
+	warm()
+	if avg := testing.AllocsPerRun(10, warm); avg != 0 {
+		t.Fatalf("warm Get/Reset cycle allocates %.1f times, want 0", avg)
+	}
+}
+
+func TestWorkspaceRankLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank-5 Get did not panic")
+		}
+	}()
+	NewWorkspace().Get(1, 2, 3, 4, 5)
+}
+
+func TestScratchPoolWarmCycleAllocatesNothing(t *testing.T) {
+	// Warm the buckets, then a get/put cycle must not touch the heap —
+	// this is why the pool is mutex-guarded stacks rather than sync.Pool,
+	// whose Put boxes the slice header.
+	sizes := []int{1, 100, 1 << 10, 1<<14 + 3}
+	for _, n := range sizes {
+		PutScratch(GetScratch(n))
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for _, n := range sizes {
+			PutScratch(GetScratch(n))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm scratch cycle allocates %.1f times, want 0", avg)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/tensor"
 )
 
 // Point is one epoch's divergence measurement between the paired replicas.
@@ -93,6 +94,7 @@ func Pair(cfg core.TrainConfig, v core.Variant) (*Trajectory, error) {
 	type rep struct {
 		net      *nn.Sequential
 		dev      *device.Device
+		ws       *tensor.Workspace
 		loader   *data.Loader
 		sgd      *opt.SGD
 		shuffleS *rng.Stream
@@ -102,9 +104,13 @@ func Pair(cfg core.TrainConfig, v core.Variant) (*Trajectory, error) {
 		initS, shuffleS, augS, mode, entropy := core.SeedsFor(cfg.BaseSeed, v, replica)
 		net := cfg.Model()
 		net.Init(initS)
+		dev := device.New(cfg.Device, mode, entropy)
+		ws := net.UseWorkspace()
+		dev.SetWorkspace(ws)
 		return rep{
 			net:      net,
-			dev:      device.New(cfg.Device, mode, entropy),
+			dev:      dev,
+			ws:       ws,
 			loader:   data.NewLoader(cfg.Dataset, cfg.Dataset.Train, cfg.Batch, cfg.Augment),
 			sgd:      opt.NewSGD(cfg.Momentum, 0),
 			shuffleS: shuffleS,
@@ -117,12 +123,15 @@ func Pair(cfg core.TrainConfig, v core.Variant) (*Trajectory, error) {
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.Schedule.LR(epoch)
 		for _, r := range []*rep{&a, &b} {
-			for _, batch := range r.loader.Epoch(r.shuffleS.SplitIndex(epoch), r.augS.SplitIndex(epoch)) {
+			ep := r.loader.Epoch(r.shuffleS.SplitIndex(epoch), r.augS.SplitIndex(epoch))
+			var batch data.Batch
+			for ep.Next(&batch) {
 				r.net.ZeroGrad()
 				logits := r.net.Forward(r.dev, batch.X, true)
-				_, dlogits := nn.SoftmaxCrossEntropy(r.dev, logits, batch.Labels)
+				_, dlogits := nn.SoftmaxCrossEntropyInPlace(r.dev, logits, batch.Labels)
 				r.net.Backward(r.dev, dlogits)
 				r.sgd.Step(r.net.Params(), lr)
+				r.ws.Reset()
 			}
 		}
 		wa, wb := a.net.WeightVector(), b.net.WeightVector()
